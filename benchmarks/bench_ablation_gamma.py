@@ -1,0 +1,23 @@
+"""Design-choice ablation: the DFS/SFS mixing weight gamma (Eq. 26).
+
+The paper fixes the mixing form but not gamma's value; DESIGN.md
+defaults it to 0.5.  This bench sweeps gamma to document sensitivity.
+"""
+
+from conftest import print_metric_rows
+
+from repro.experiments.common import run_model
+
+
+def test_gamma_sweep(benchmark, budget):
+    dataset = budget.dataset("beauty")
+
+    def sweep():
+        return {
+            f"gamma={g}": run_model("SLIME4Rec", dataset, budget, gamma=g)
+            for g in (0.0, 0.25, 0.5, 0.75, 1.0)
+        }
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_metric_rows("gamma ablation (beauty)", rows)
+    assert all(0 <= m["HR@5"] <= 1 for m in rows.values())

@@ -1,0 +1,23 @@
+"""Section III-F: filter mixer vs self-attention runtime scaling."""
+
+from repro.experiments import run_complexity_comparison
+
+
+def test_complexity_scaling(benchmark):
+    results = benchmark.pedantic(
+        run_complexity_comparison,
+        kwargs={"seq_lens": (16, 32, 64, 128), "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Section III-F complexity (ms per layer fwd+bwd) ===")
+    print(f"{'N':>6} {'filter_mixer':>14} {'self_attention':>16}")
+    for n in sorted(results["filter_mixer"]):
+        print(f"{n:>6} {results['filter_mixer'][n]:>14.2f} {results['self_attention'][n]:>16.2f}")
+    # Shape check: attention's cost must grow faster with N than the
+    # filter mixer's (O(N^2) vs O(N log N)).
+    fm = results["filter_mixer"]
+    sa = results["self_attention"]
+    fm_growth = fm[128] / fm[16]
+    sa_growth = sa[128] / sa[16]
+    assert sa_growth > fm_growth, (fm_growth, sa_growth)

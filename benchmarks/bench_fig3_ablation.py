@@ -1,0 +1,15 @@
+"""Figure 3: ablation of contrastive learning and the two filter modules."""
+
+from conftest import print_metric_rows
+
+from repro.experiments import run_fig3_ablation
+
+
+def test_fig3_ablation(benchmark, budget):
+    rows = benchmark.pedantic(run_fig3_ablation, args=(budget,), rounds=1, iterations=1)
+    print_metric_rows("Figure 3 ablation", rows)
+    # Shape check: the full model should not be dominated by every variant.
+    for ds_name in budget.dataset_names():
+        full = rows[f"{ds_name}/SLIME4Rec"]["HR@5"]
+        variants = [rows[f"{ds_name}/{v}"]["HR@5"] for v in ("w/oC", "w/oD", "w/oS")]
+        assert full >= min(variants) * 0.8

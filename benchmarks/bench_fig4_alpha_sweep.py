@@ -1,0 +1,17 @@
+"""Figure 4: dynamic filter size ratio alpha sweep vs DuoRec."""
+
+from conftest import print_metric_rows
+
+from repro.experiments import run_fig4_alpha_sweep
+
+
+def test_fig4_alpha_sweep(benchmark, budget):
+    rows = benchmark.pedantic(
+        run_fig4_alpha_sweep,
+        args=(budget,),
+        kwargs={"alphas": (0.1, 0.4, 0.7, 1.0)},
+        rounds=1,
+        iterations=1,
+    )
+    print_metric_rows("Figure 4 alpha sweep", rows)
+    assert all(0 <= m["HR@5"] <= 1 for m in rows.values())

@@ -1,0 +1,17 @@
+"""Figure 5: sensitivity to input sequence length N and hidden size d."""
+
+from conftest import print_metric_rows
+
+from repro.experiments import run_fig5_seqlen_and_hidden
+
+
+def test_fig5_seqlen_and_hidden(benchmark, budget):
+    rows = benchmark.pedantic(
+        run_fig5_seqlen_and_hidden,
+        args=(budget,),
+        kwargs={"seq_lens": (8, 16), "hidden_dims": (16, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    print_metric_rows("Figure 5 (N and d sweeps)", rows)
+    assert all(0 <= m["HR@5"] <= 1 for m in rows.values())

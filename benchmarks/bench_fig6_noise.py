@@ -1,0 +1,22 @@
+"""Figure 6: robustness to synthetic representation noise."""
+
+from conftest import print_metric_rows
+
+from repro.experiments import run_fig6_noise_robustness
+
+
+def test_fig6_noise_robustness(benchmark, budget):
+    rows = benchmark.pedantic(
+        run_fig6_noise_robustness,
+        args=(budget,),
+        kwargs={"eps_values": (0.0, 0.2, 0.4)},
+        rounds=1,
+        iterations=1,
+    )
+    print_metric_rows("Figure 6 noise robustness", rows)
+    # Clean evaluation should not be worse than the noisiest one by a
+    # large margin for SLIME4Rec (robustness claim, shape-level).
+    for ds_name in budget.dataset_names():
+        clean = rows[f"{ds_name}/SLIME4Rec/eps=0.0"]["HR@5"]
+        noisy = rows[f"{ds_name}/SLIME4Rec/eps=0.4"]["HR@5"]
+        assert noisy <= clean + 0.15

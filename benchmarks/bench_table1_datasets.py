@@ -1,0 +1,18 @@
+"""Table I: dataset statistics after preprocessing."""
+
+from conftest import print_metric_rows
+
+from repro.experiments import run_table1_dataset_stats
+from repro.experiments.common import ExperimentBudget
+
+
+def test_table1_dataset_stats(benchmark):
+    budget = ExperimentBudget.quick()
+    budget.datasets = ["beauty", "clothing", "sports", "ml1m", "yelp"]
+    rows = benchmark.pedantic(
+        run_table1_dataset_stats, args=(budget,), rounds=1, iterations=1
+    )
+    print_metric_rows("Table I (scaled synthetic presets)", rows)
+    # Shape checks mirroring the paper: ml1m is the dense outlier.
+    assert rows["ml1m"]["avg_length"] > rows["beauty"]["avg_length"]
+    assert rows["ml1m"]["sparsity"] < rows["beauty"]["sparsity"]

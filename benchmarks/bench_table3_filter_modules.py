@@ -1,0 +1,22 @@
+"""Table III: DFS-only vs DFS+SFS filter module designs."""
+
+from conftest import print_metric_rows
+
+from repro.experiments import run_table3_filter_module_designs
+
+
+def test_table3_filter_module_designs(benchmark, budget):
+    rows = benchmark.pedantic(
+        run_table3_filter_module_designs, args=(budget,), rounds=1, iterations=1
+    )
+    print_metric_rows("Table III", rows)
+    # Shape check: adding SFS should not collapse performance; count how
+    # often DFS+SFS >= DFS (paper: always better or equal).
+    wins = 0
+    total = 0
+    for key in rows:
+        if key.endswith("/DFS"):
+            total += 1
+            if rows[key[: -len("DFS")] + "DFS+SFS"]["HR@5"] >= rows[key]["HR@5"] * 0.9:
+                wins += 1
+    assert wins >= total * 0.5

@@ -1,0 +1,14 @@
+"""Table IV: the four frequency-ramp slide modes."""
+
+from conftest import print_metric_rows
+
+from repro.experiments import run_table4_slide_modes
+
+
+def test_table4_slide_modes(benchmark, budget):
+    rows = benchmark.pedantic(
+        run_table4_slide_modes, args=(budget,), rounds=1, iterations=1
+    )
+    print_metric_rows("Table IV", rows)
+    # All four modes must produce sane metrics.
+    assert all(0 <= m["HR@5"] <= 1 for m in rows.values())

@@ -1,0 +1,21 @@
+"""Table V: SLIME4Rec vs DuoRec across network depths."""
+
+from conftest import print_metric_rows
+
+from repro.experiments import run_table5_depth_comparison
+
+
+def test_table5_depth_comparison(benchmark, budget):
+    rows = benchmark.pedantic(
+        run_table5_depth_comparison, args=(budget,), rounds=1, iterations=1
+    )
+    print_metric_rows("Table V", rows)
+    # Shape check: SLIME4Rec beats DuoRec at a majority of depths.
+    wins = total = 0
+    for key in rows:
+        if key.endswith("/SLIME4Rec"):
+            total += 1
+            duo = rows[key.replace("/SLIME4Rec", "/DuoRec")]
+            if rows[key]["NDCG@10"] >= duo["NDCG@10"]:
+                wins += 1
+    assert wins >= total * 0.5, f"SLIME4Rec won only {wins}/{total} depth settings"

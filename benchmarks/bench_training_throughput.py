@@ -1,0 +1,42 @@
+"""Training-step throughput of each model family.
+
+Not a paper artifact, but the number a downstream user asks first:
+how expensive is one optimizer step of SLIME4Rec vs the baselines on
+identical data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_baseline
+from repro.data.batching import BatchIterator
+from repro.optim import Adam
+
+MODELS = ["SASRec", "FMLP-Rec", "GRU4Rec", "SLIME4Rec", "DuoRec"]
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    from repro.data.synthetic import load_preset
+
+    dataset = load_preset("beauty", scale=0.2, max_len=32)
+    return dataset
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_train_step_throughput(benchmark, setup, name):
+    dataset = setup
+    model = build_baseline(name, dataset, hidden_dim=64, seed=0)
+    iterator = BatchIterator(dataset, batch_size=128, with_same_target=True, seed=0)
+    batch = next(iter(iterator.epoch()))
+    optimizer = Adam(model.parameters())
+
+    def step():
+        optimizer.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    result = benchmark(step)
+    assert np.isfinite(result)

@@ -1,0 +1,46 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one paper artifact (table or figure) under
+a small budget and prints the resulting rows, so running
+
+    pytest benchmarks/ --benchmark-only
+
+produces both timing data and the reproduced numbers.  Budgets are
+intentionally tiny: the goal is the *shape* of each result (orderings,
+trends), not the paper's absolute numbers — see EXPERIMENTS.md.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentBudget
+from repro.utils import save_results
+
+#: Where each bench persists its reproduced rows, so the artifact
+#: survives pytest's output capturing (inspect after any run).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def budget():
+    """Shared benchmark budget: tiny datasets, few epochs, cached."""
+    b = ExperimentBudget.quick()
+    b.datasets = ["beauty", "ml1m"]
+    b.epochs = 3
+    return b
+
+
+def print_metric_rows(title, rows):
+    """Print reproduced rows and persist them under benchmarks/results/."""
+    print(f"\n=== {title} ===")
+    for key, metrics in rows.items():
+        if isinstance(metrics, dict):
+            body = "  ".join(f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}"
+                             for k, v in metrics.items())
+        else:
+            body = str(metrics)
+        print(f"{key:<40} {body}")
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    save_results(rows, RESULTS_DIR / f"{slug}.json")

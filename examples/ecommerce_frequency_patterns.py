@@ -1,0 +1,85 @@
+"""Frequency patterns in e-commerce behaviour (the paper's Figure 1 story).
+
+The paper motivates SLIME4Rec with users like "Bob", who buys clothing
+at short intervals (high-frequency behaviour) and electronics at long
+intervals (low-frequency behaviour), entangled in one chronological
+sequence.  This example:
+
+1. generates a workload with two planted behaviour frequencies,
+2. shows the category-usage spectrum of a user (the planted peaks),
+3. trains SLIME4Rec and a pure time-domain model (SASRec) on it,
+4. reports how much of the spectrum each DFS/SFS layer attends to.
+
+Run with::
+
+    python examples/ecommerce_frequency_patterns.py
+"""
+
+import numpy as np
+
+from repro import SlimeConfig, Slime4Rec, TrainConfig, Trainer, build_baseline
+from repro.data.dataset import SequenceDataset
+from repro.data.synthetic import SyntheticConfig, generate_interactions
+from repro.experiments.visualization import ascii_heatmap
+
+
+def main() -> None:
+    # Two categories: "clothing" with a 4-step period, "electronics"
+    # with a 32-step period — exactly the Figure 1 setup.
+    cfg = SyntheticConfig(
+        name="figure1-world",
+        num_users=220,
+        num_items=120,
+        num_categories=2,
+        user_categories=2,
+        min_period=4.0,
+        max_period=32.0,
+        mean_length=48.0,
+        temperature=0.25,
+        noise_prob=0.03,
+        seed=42,
+    )
+    interactions = generate_interactions(cfg)
+    dataset = SequenceDataset(interactions, name=cfg.name, max_len=32)
+    print(dataset.stats().as_row())
+
+    # --- inspect one user's category spectrum --------------------------
+    from repro.data.synthetic import _category_assignment
+
+    item_category, periods = _category_assignment(cfg)
+    print(f"\nplanted category periods: {np.round(periods, 1).tolist()} steps")
+    seq = next(s for s in dataset.sequences if len(s) >= 32)
+    # item ids are 1-based; map back through the generator's categories
+    signal = np.array([s % 2 for s in seq[:32]], dtype=float)
+    spectrum = np.abs(np.fft.rfft(signal - signal.mean()))
+    print(ascii_heatmap(spectrum[None, :], title="one user's category-usage spectrum"))
+
+    # --- train frequency-domain vs time-domain models -----------------
+    train_cfg = TrainConfig(epochs=6, batch_size=256, patience=2)
+    slime = Slime4Rec(
+        SlimeConfig(num_items=dataset.num_items, max_len=32, hidden_dim=48,
+                    num_layers=2, alpha=0.4, seed=0)
+    )
+    slime_trainer = Trainer(slime, dataset, train_cfg)
+    slime_trainer.fit()
+    slime_result = slime_trainer.test()
+
+    sasrec = build_baseline("SASRec", dataset, hidden_dim=48, seed=0)
+    sasrec_trainer = Trainer(sasrec, dataset, train_cfg)
+    sasrec_trainer.fit()
+    sasrec_result = sasrec_trainer.test()
+
+    print("\nfrequency domain (SLIME4Rec):", slime_result.as_row())
+    print("time domain      (SASRec):   ", sasrec_result.as_row())
+
+    # --- what did the filters learn? -----------------------------------
+    amps = slime.filter_amplitudes()
+    print()
+    print(ascii_heatmap(
+        np.stack([a.mean(axis=1) for a in amps["dfs"]]),
+        title="learned dynamic filters (rows = layers)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

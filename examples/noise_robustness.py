@@ -1,0 +1,43 @@
+"""Figure 6 demo: robustness to synthetic representation noise.
+
+Trains SLIME4Rec and DuoRec on the same dense workload, then evaluates
+both under increasing uniform noise injected into every layer input.
+The paper's claim: the slide filters separate noise in the frequency
+domain, so SLIME4Rec degrades more gracefully.
+
+Run with::
+
+    python examples/noise_robustness.py
+"""
+
+from repro import TrainConfig, Trainer, build_baseline, load_preset
+
+
+def main() -> None:
+    dataset = load_preset("ml1m", scale=0.25, max_len=24)
+    print(dataset.stats().as_row())
+
+    trainers = {}
+    for name in ("SLIME4Rec", "DuoRec"):
+        model = build_baseline(name, dataset, hidden_dim=32, seed=0)
+        trainer = Trainer(
+            model, dataset,
+            TrainConfig(epochs=4, batch_size=256, patience=2),
+            with_same_target=True,
+        )
+        trainer.fit()
+        trainers[name] = trainer
+
+    eps_values = (0.0, 0.1, 0.2, 0.4, 0.8)
+    print(f"\n{'eps':>6} {'SLIME4Rec HR@5':>16} {'DuoRec HR@5':>14}")
+    for eps in eps_values:
+        scores = {}
+        for name, trainer in trainers.items():
+            trainer.model.noise_eps = eps
+            scores[name] = trainer.evaluator.evaluate(trainer.model, split="test")["HR@5"]
+            trainer.model.noise_eps = 0.0
+        print(f"{eps:>6.1f} {scores['SLIME4Rec']:>16.4f} {scores['DuoRec']:>14.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package and no network access, so PEP
+517 editable installs fail; ``python setup.py develop`` (or the .pth
+fallback below) installs the package in editable mode instead.
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

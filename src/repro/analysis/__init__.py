@@ -1,0 +1,22 @@
+"""Frequency-domain analysis of user behaviour sequences.
+
+Tools behind the paper's Figure 1 narrative: decompose interaction
+sequences into frequency components, measure spectral energy per band,
+and quantify how much of a dataset's behaviour is periodic — useful
+both for understanding why frequency-domain recommenders win on a
+given dataset and for validating synthetic workloads.
+"""
+
+from repro.analysis.spectrum import (
+    sequence_spectrum,
+    band_energy,
+    dataset_spectral_profile,
+    periodicity_score,
+)
+
+__all__ = [
+    "sequence_spectrum",
+    "band_energy",
+    "dataset_spectral_profile",
+    "periodicity_score",
+]

@@ -1,0 +1,30 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the substrate that replaces PyTorch in this
+reproduction.  It provides:
+
+- :class:`~repro.autograd.tensor.Tensor`: an ndarray wrapper that records
+  a computation graph and supports broadcasting-aware backpropagation.
+- :mod:`~repro.autograd.functional`: the op library (arithmetic, matmul,
+  reductions, activations, softmax/cross-entropy, gather/scatter, ...).
+- :mod:`~repro.autograd.spectral`: the fused FFT -> complex filter ->
+  inverse-FFT operator at the heart of SLIME4Rec, with an analytically
+  derived backward pass.
+- :mod:`~repro.autograd.gradcheck`: finite-difference gradient checking
+  used throughout the test suite.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.spectral import spectral_filter, spectral_filter_reference
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "spectral_filter",
+    "spectral_filter_reference",
+    "gradcheck",
+]

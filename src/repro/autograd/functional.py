@@ -1,0 +1,573 @@
+"""Differentiable operations on :class:`~repro.autograd.tensor.Tensor`.
+
+Every function here follows the same contract:
+
+- accept tensors (or array-likes, which are promoted to constants),
+- compute the forward value with numpy,
+- when grad mode is on and any input requires grad, attach a backward
+  closure returning one gradient per parent (``None`` for integer or
+  non-differentiable parents).
+
+Gradients returned by closures are reduced to the parent shape with
+:func:`~repro.autograd.tensor.unbroadcast` so that all binary ops support
+full numpy broadcasting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow", "exp", "log", "sqrt",
+    "tanh", "sigmoid", "relu", "gelu", "matmul", "reshape", "transpose",
+    "sum", "mean", "var", "getitem", "concat", "stack", "pad_axis",
+    "softmax", "log_softmax", "cross_entropy", "embedding", "dropout",
+    "layer_norm", "where", "maximum", "clip", "masked_fill", "sum_to",
+    "binary_cross_entropy_with_logits", "logsigmoid", "l2_normalize",
+]
+
+
+def _make(data: np.ndarray, parents: Tuple[Tensor, ...], backward) -> Tensor:
+    """Build an output tensor, recording the graph only when needed."""
+    if is_grad_enabled() and any(p.requires_grad or p._backward is not None for p in parents):
+        return Tensor(data, _parents=parents, _backward=backward)
+    return Tensor(data)
+
+
+# ----------------------------------------------------------------------
+# Elementwise arithmetic
+# ----------------------------------------------------------------------
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data + b.data
+
+    def backward(grad):
+        return unbroadcast(grad, a.shape), unbroadcast(grad, b.shape)
+
+    return _make(out, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data - b.data
+
+    def backward(grad):
+        return unbroadcast(grad, a.shape), unbroadcast(-grad, b.shape)
+
+    return _make(out, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data * b.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * b.data, a.shape),
+            unbroadcast(grad * a.data, b.shape),
+        )
+
+    return _make(out, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data / b.data
+
+    def backward(grad):
+        ga = grad / b.data
+        gb = -grad * a.data / (b.data * b.data)
+        return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
+
+    return _make(out, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    a = as_tensor(a)
+
+    def backward(grad):
+        return (-grad,)
+
+    return _make(-a.data, (a,), backward)
+
+
+def pow(a, exponent: float) -> Tensor:
+    a = as_tensor(a)
+    if isinstance(exponent, Tensor):
+        raise TypeError("tensor exponents are not supported; use exp/log")
+    out = a.data ** exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1),)
+
+    return _make(out, (a,), backward)
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * out,)
+
+    return _make(out, (a,), backward)
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.log(a.data)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return _make(out, (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.sqrt(a.data)
+
+    def backward(grad):
+        return (grad * 0.5 / out,)
+
+    return _make(out, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - out * out),)
+
+    return _make(out, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    out = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0)))
+
+    def backward(grad):
+        return (grad * out * (1.0 - out),)
+
+    return _make(out, (a,), backward)
+
+
+def logsigmoid(a) -> Tensor:
+    """Numerically stable ``log(sigmoid(x))``."""
+    a = as_tensor(a)
+    x = a.data
+    out = np.where(x >= 0, -np.log1p(np.exp(-x)), x - np.log1p(np.exp(x)))
+
+    def backward(grad):
+        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return (grad * (1.0 - sig),)
+
+    return _make(out.astype(x.dtype, copy=False), (a,), backward)
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    out = np.maximum(a.data, 0.0)
+
+    def backward(grad):
+        return (grad * (a.data > 0),)
+
+    return _make(out, (a,), backward)
+
+
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
+def gelu(a) -> Tensor:
+    """GELU activation (tanh approximation, as used by the paper's FFN)."""
+    a = as_tensor(a)
+    x = a.data
+    inner = _GELU_C * (x + 0.044715 * x ** 3)
+    t = np.tanh(inner)
+    out = 0.5 * x * (1.0 + t)
+
+    def backward(grad):
+        dinner = _GELU_C * (1.0 + 3 * 0.044715 * x ** 2)
+        dx = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+        return (grad * dx,)
+
+    return _make(out.astype(x.dtype, copy=False), (a,), backward)
+
+
+def maximum(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.maximum(a.data, b.data)
+
+    def backward(grad):
+        mask = a.data >= b.data
+        return (
+            unbroadcast(grad * mask, a.shape),
+            unbroadcast(grad * ~mask, b.shape),
+        )
+
+    return _make(out, (a, b), backward)
+
+
+def clip(a, lo: float, hi: float) -> Tensor:
+    a = as_tensor(a)
+    out = np.clip(a.data, lo, hi)
+
+    def backward(grad):
+        inside = (a.data >= lo) & (a.data <= hi)
+        return (grad * inside,)
+
+    return _make(out, (a,), backward)
+
+
+def where(cond, a, b) -> Tensor:
+    """Select ``a`` where ``cond`` else ``b``; ``cond`` is a plain array."""
+    cond = cond.data if isinstance(cond, Tensor) else np.asarray(cond)
+    a, b = as_tensor(a), as_tensor(b)
+    out = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        return (
+            unbroadcast(grad * cond, a.shape),
+            unbroadcast(grad * ~cond, b.shape),
+        )
+
+    return _make(out, (a, b), backward)
+
+
+def masked_fill(a, mask, value: float) -> Tensor:
+    """Set positions where ``mask`` is True to ``value`` (e.g. -inf logits)."""
+    a = as_tensor(a)
+    mask = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
+    mask = np.broadcast_to(mask, a.shape)
+    out = np.where(mask, np.asarray(value, dtype=a.dtype), a.data)
+
+    def backward(grad):
+        return (grad * ~mask,)
+
+    return _make(out, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+
+def reshape(a, shape: Tuple[int, ...]) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.reshape(shape)
+
+    def backward(grad):
+        return (grad.reshape(a.shape),)
+
+    return _make(out, (a,), backward)
+
+
+def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    a = as_tensor(a)
+    out = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad):
+        return (np.transpose(grad, inverse),)
+
+    return _make(out, (a,), backward)
+
+
+def getitem(a, index) -> Tensor:
+    a = as_tensor(a)
+    if isinstance(index, Tensor):
+        index = index.data
+    out = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return _make(out, (a,), backward)
+
+
+def concat(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        slicer = [slice(None)] * grad.ndim
+        grads = []
+        for i in range(len(tensors)):
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(grad[tuple(slicer)])
+        return tuple(grads)
+
+    return _make(out, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        pieces = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in pieces)
+
+    return _make(out, tuple(tensors), backward)
+
+
+def pad_axis(a, axis: int, before: int, after: int, value: float = 0.0) -> Tensor:
+    """Pad one axis with a constant value."""
+    a = as_tensor(a)
+    widths = [(0, 0)] * a.ndim
+    widths[axis] = (before, after)
+    out = np.pad(a.data, widths, constant_values=value)
+
+    def backward(grad):
+        slicer = [slice(None)] * a.ndim
+        slicer[axis] = slice(before, before + a.shape[axis])
+        return (grad[tuple(slicer)],)
+
+    return _make(out, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, a.shape).astype(a.dtype, copy=False),)
+
+    return _make(out, (a,), backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    out = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(grad):
+        g = grad / count
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return (np.broadcast_to(g, a.shape).astype(a.dtype, copy=False),)
+
+    return _make(out, (a,), backward)
+
+
+def var(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Population variance (ddof=0), composed from differentiable ops."""
+    a = as_tensor(a)
+    mu = mean(a, axis=axis, keepdims=True)
+    centered = sub(a, mu)
+    squared = mul(centered, centered)
+    return mean(squared, axis=axis, keepdims=keepdims)
+
+
+def sum_to(a, shape: Tuple[int, ...]) -> Tensor:
+    """Differentiable reduction of ``a`` to a broadcast-compatible shape."""
+    a = as_tensor(a)
+    out = unbroadcast(a.data, shape)
+
+    def backward(grad):
+        return (np.broadcast_to(grad, a.shape).astype(a.dtype, copy=False),)
+
+    return _make(out, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    out = a.data @ b.data
+
+    def backward(grad):
+        a_d, b_d = a.data, b.data
+        if a_d.ndim == 1 and b_d.ndim == 1:
+            return grad * b_d, grad * a_d
+        if a_d.ndim == 1:  # (k,) @ (..., k, n)
+            ga = (grad[..., None, :] @ np.swapaxes(b_d, -1, -2)).reshape(b_d.shape[:-2] + a_d.shape)
+            ga = unbroadcast(ga, a_d.shape)
+            gb = a_d[..., :, None] @ grad[..., None, :]
+            gb = unbroadcast(gb, b_d.shape)
+            return ga, gb
+        if b_d.ndim == 1:  # (..., m, k) @ (k,)
+            ga = grad[..., :, None] @ b_d[None, :]
+            ga = unbroadcast(ga, a_d.shape)
+            gb = np.swapaxes(a_d, -1, -2) @ grad[..., :, None]
+            gb = unbroadcast(gb.reshape(gb.shape[:-1]), b_d.shape)
+            # Reduce batch dims onto the vector.
+            while gb.ndim > 1:
+                gb = gb.sum(axis=0)
+            return ga, gb
+        ga = grad @ np.swapaxes(b_d, -1, -2)
+        gb = np.swapaxes(a_d, -1, -2) @ grad
+        return unbroadcast(ga, a_d.shape), unbroadcast(gb, b_d.shape)
+
+    return _make(out, (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Neural-network primitives
+# ----------------------------------------------------------------------
+
+def softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return (out * (grad - dot),)
+
+    return _make(out, (a,), backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+
+    def backward(grad):
+        soft = np.exp(out)
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return _make(out, (a,), backward)
+
+
+def cross_entropy(logits, targets, ignore_index: Optional[int] = None) -> Tensor:
+    """Mean softmax cross-entropy over the last axis.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(..., num_classes)``.
+    targets:
+        Integer array of shape ``(...,)`` with class indices.
+    ignore_index:
+        Optional target value whose positions contribute zero loss
+        (used for padding in masked-item objectives).
+    """
+    logits = as_tensor(logits)
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    flat_logits = logits.data.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1).astype(np.int64)
+
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    count = max(int(valid.sum()), 1)
+
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
+    loss = -(picked * valid).sum() / count
+
+    def backward(grad):
+        soft = np.exp(log_probs)
+        soft[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
+        soft *= (valid / count)[:, None]
+        return ((grad * soft).reshape(logits.shape).astype(logits.dtype, copy=False),)
+
+    return _make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
+
+
+def binary_cross_entropy_with_logits(logits, targets) -> Tensor:
+    """Mean BCE over all elements; ``targets`` is a plain 0/1 array."""
+    logits = as_tensor(logits)
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    x = logits.data
+    loss = np.maximum(x, 0) - x * targets + np.log1p(np.exp(-np.abs(x)))
+    out = loss.mean()
+
+    def backward(grad):
+        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return ((grad * (sig - targets) / x.size).astype(x.dtype, copy=False),)
+
+    return _make(np.asarray(out, dtype=x.dtype), (logits,), backward)
+
+
+def embedding(weight, indices) -> Tensor:
+    """Row-gather from an embedding matrix with scatter-add backward."""
+    weight = as_tensor(weight)
+    idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    idx = idx.astype(np.int64, copy=False)
+    out = weight.data[idx]
+
+    def backward(grad):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, idx.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+        return (full,)
+
+    return _make(out, (weight,), backward)
+
+
+def dropout(a, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    a = as_tensor(a)
+    if not training or p <= 0.0:
+        return a
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    keep = 1.0 - p
+    mask = (rng.random(a.shape) < keep).astype(a.dtype) / keep
+    out = a.data * mask
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return _make(out, (a,), backward)
+
+
+def layer_norm(a, gamma, beta, eps: float = 1e-12) -> Tensor:
+    """Fused layer normalization over the last axis."""
+    a, gamma, beta = as_tensor(a), as_tensor(gamma), as_tensor(beta)
+    x = a.data
+    mu = x.mean(axis=-1, keepdims=True)
+    xc = x - mu
+    variance = (xc * xc).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    x_hat = xc * inv_std
+    out = x_hat * gamma.data + beta.data
+
+    def backward(grad):
+        d = x.shape[-1]
+        g_xhat = grad * gamma.data
+        g_var_term = (g_xhat * x_hat).mean(axis=-1, keepdims=True)
+        g_mu_term = g_xhat.mean(axis=-1, keepdims=True)
+        ga = inv_std * (g_xhat - g_mu_term - x_hat * g_var_term)
+        g_gamma = unbroadcast(grad * x_hat, gamma.shape)
+        g_beta = unbroadcast(grad, beta.shape)
+        return ga.astype(x.dtype, copy=False), g_gamma, g_beta
+
+    return _make(out, (a, gamma, beta), backward)
+
+
+def l2_normalize(a, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Differentiable L2 normalization along ``axis``."""
+    a = as_tensor(a)
+    norm = sqrt(sum(mul(a, a), axis=axis, keepdims=True) + eps)
+    return div(a, norm)

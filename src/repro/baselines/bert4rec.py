@@ -1,0 +1,96 @@
+"""BERT4Rec baseline (Sun et al., CIKM 2019).
+
+Bidirectional self-attention trained with the Cloze (masked item)
+objective: a random fraction of positions is replaced by a ``[mask]``
+token and the model predicts the original items.  At inference the
+history is shifted left and a ``[mask]`` appended at the final position
+whose hidden state scores the next item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.baselines.transformer import TransformerEncoder
+from repro.core.encoder import SequentialEncoderBase
+from repro.data.batching import Batch
+
+__all__ = ["BERT4Rec"]
+
+_IGNORE = -100  # positions that contribute no loss
+
+
+class BERT4Rec(SequentialEncoderBase):
+    def __init__(
+        self,
+        num_items: int,
+        max_len: int = 50,
+        hidden_dim: int = 64,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        mask_prob: float = 0.2,
+        embed_dropout: float = 0.3,
+        hidden_dropout: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            num_items=num_items,
+            max_len=max_len,
+            hidden_dim=hidden_dim,
+            embed_dropout=embed_dropout,
+            extra_tokens=1,  # the [mask] token
+            seed=seed,
+        )
+        self.mask_token = num_items + 1
+        self.mask_prob = mask_prob
+        self._mask_rng = np.random.default_rng(seed + 9)
+        self.encoder = TransformerEncoder(
+            hidden_dim,
+            num_layers,
+            num_heads=num_heads,
+            dropout=hidden_dropout,
+            causal=False,
+            rng=np.random.default_rng(seed + 10),
+        )
+
+    # ------------------------------------------------------------------
+    def encode_states(self, input_ids: np.ndarray) -> Tensor:
+        padding = np.asarray(input_ids) == 0
+        hidden = self.embed(input_ids)
+        for block in self.encoder.blocks:
+            hidden = block(hidden, key_padding_mask=padding)
+        return hidden
+
+    # ------------------------------------------------------------------
+    def loss(self, batch: Batch) -> Tensor:
+        """Cloze objective over randomly masked non-padding positions."""
+        inputs = np.asarray(batch.input_ids, dtype=np.int64).copy()
+        # Fold the next-item target in as the final sequence element so
+        # the Cloze task sees complete sequences (standard practice).
+        inputs = np.roll(inputs, -1, axis=1)
+        inputs[:, -1] = batch.targets
+
+        labels = np.full_like(inputs, _IGNORE)
+        real = inputs != 0
+        masked = real & (self._mask_rng.random(inputs.shape) < self.mask_prob)
+        # Always mask the last position: it is exactly the next-item task.
+        masked[:, -1] = True
+        labels[masked] = inputs[masked]
+        corrupted = np.where(masked, self.mask_token, inputs)
+
+        states = self.encode_states(corrupted)  # (B, N, d)
+        table = F.transpose(self._score_table(), (1, 0))
+        logits = F.matmul(states, table)  # (B, N, V+1)
+        return F.cross_entropy(logits, labels, ignore_index=_IGNORE)
+
+    def predict_scores(self, input_ids: np.ndarray) -> np.ndarray:
+        """Append [mask] at the end and rank by its hidden state."""
+        inputs = np.asarray(input_ids, dtype=np.int64)
+        shifted = np.roll(inputs, -1, axis=1)
+        shifted[:, -1] = self.mask_token
+        states = self.encode_states(shifted)
+        user = F.getitem(states, (slice(None), -1))
+        table = F.transpose(self._score_table(), (1, 0))
+        return F.matmul(user, table).data

@@ -1,0 +1,85 @@
+"""CL4SRec baseline (Xie et al., ICDE 2022).
+
+SASRec encoder plus a contrastive task over *data-level* augmented
+views: each sequence is augmented twice by a random choice of crop,
+mask or reorder, and the two views are positives under InfoNCE.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.baselines.sasrec import SASRec
+from repro.core.contrastive import info_nce_loss
+from repro.data.augmentation import crop_sequence, mask_sequence, reorder_sequence
+from repro.data.batching import Batch
+from repro.data.preprocess import pad_or_truncate
+
+__all__ = ["CL4SRec"]
+
+
+class CL4SRec(SASRec):
+    def __init__(
+        self,
+        num_items: int,
+        max_len: int = 50,
+        hidden_dim: int = 64,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        cl_weight: float = 0.1,
+        cl_temperature: float = 1.0,
+        aug_ratio: float = 0.6,
+        embed_dropout: float = 0.3,
+        hidden_dropout: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            num_items=num_items,
+            max_len=max_len,
+            hidden_dim=hidden_dim,
+            num_layers=num_layers,
+            num_heads=num_heads,
+            embed_dropout=embed_dropout,
+            hidden_dropout=hidden_dropout,
+            seed=seed,
+        )
+        self.cl_weight = cl_weight
+        self.cl_temperature = cl_temperature
+        self.aug_ratio = aug_ratio
+        # The mask augmentation uses item id 0 (padding) as the blank,
+        # following the original which adds a dedicated mask item.
+        self._aug_rng = np.random.default_rng(seed + 12)
+
+    # ------------------------------------------------------------------
+    def _augment_row(self, row: np.ndarray) -> np.ndarray:
+        items: List[int] = [i for i in row.tolist() if i != 0]
+        if not items:
+            return row
+        choice = int(self._aug_rng.integers(3))
+        if choice == 0:
+            items = crop_sequence(items, self.aug_ratio, self._aug_rng)
+        elif choice == 1:
+            items = mask_sequence(items, 1.0 - self.aug_ratio, 0, self._aug_rng)
+        else:
+            items = reorder_sequence(items, 1.0 - self.aug_ratio, self._aug_rng)
+        return pad_or_truncate(items, self.max_len)
+
+    def _augment_batch(self, input_ids: np.ndarray) -> np.ndarray:
+        return np.stack([self._augment_row(row) for row in np.asarray(input_ids)])
+
+    def _user(self, input_ids: np.ndarray) -> Tensor:
+        return F.getitem(self.encode_states(input_ids), (slice(None), -1))
+
+    # ------------------------------------------------------------------
+    def loss(self, batch: Batch) -> Tensor:
+        rec = self.recommendation_loss(batch.input_ids, batch.targets)
+        if self.cl_weight <= 0.0:
+            return rec
+        view_a = self._user(self._augment_batch(batch.input_ids))
+        view_b = self._user(self._augment_batch(batch.input_ids))
+        cl = info_nce_loss(view_a, view_b, temperature=self.cl_temperature)
+        return F.add(rec, F.mul(cl, self.cl_weight))

@@ -1,0 +1,93 @@
+"""Factory mapping Table II model names to constructors."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.bert4rec import BERT4Rec
+from repro.baselines.bprmf import BPRMF
+from repro.baselines.caser import Caser
+from repro.baselines.cl4srec import CL4SRec
+from repro.baselines.contrastvae import ContrastVAE
+from repro.baselines.coserec import CoSeRec
+from repro.baselines.duorec import DuoRec
+from repro.baselines.fmlprec import FMLPRec
+from repro.baselines.gru4rec import GRU4Rec
+from repro.baselines.s3rec import S3Rec
+from repro.baselines.sasrec import SASRec
+from repro.core.config import SlimeConfig
+from repro.core.model import Slime4Rec
+from repro.data.dataset import SequenceDataset
+
+__all__ = ["BASELINE_NAMES", "build_baseline"]
+
+#: Table II column order.
+BASELINE_NAMES: List[str] = [
+    "BPR-MF",
+    "GRU4Rec",
+    "Caser",
+    "SASRec",
+    "BERT4Rec",
+    "FMLP-Rec",
+    "CL4SRec",
+    "ContrastVAE",
+    "CoSeRec",
+    "DuoRec",
+    "SLIME4Rec",
+]
+
+
+def build_baseline(
+    name: str,
+    dataset: SequenceDataset,
+    hidden_dim: int = 64,
+    num_layers: int = 2,
+    seed: int = 0,
+    **overrides,
+):
+    """Construct a Table II model wired to ``dataset``'s geometry.
+
+    ``overrides`` are forwarded to the model constructor (SLIME4Rec
+    accepts SlimeConfig fields instead).
+    """
+    common: Dict = dict(
+        num_items=dataset.num_items,
+        max_len=dataset.max_len,
+        hidden_dim=hidden_dim,
+        seed=seed,
+    )
+    if name == "BPR-MF":
+        return BPRMF(**common, **overrides)
+    if name == "GRU4Rec":
+        return GRU4Rec(**common, **overrides)
+    if name == "Caser":
+        return Caser(**common, **overrides)
+    if name == "SASRec":
+        return SASRec(**common, num_layers=num_layers, **overrides)
+    if name == "S3Rec":
+        # Not part of Table II (the paper lists it as related work only)
+        # but available through the registry for extension studies.
+        return S3Rec(**common, num_layers=num_layers, **overrides)
+    if name == "BERT4Rec":
+        return BERT4Rec(**common, num_layers=num_layers, **overrides)
+    if name == "FMLP-Rec":
+        return FMLPRec(**common, num_layers=num_layers, **overrides)
+    if name == "CL4SRec":
+        return CL4SRec(**common, num_layers=num_layers, **overrides)
+    if name == "ContrastVAE":
+        return ContrastVAE(**common, num_layers=num_layers, **overrides)
+    if name == "CoSeRec":
+        return CoSeRec(**common, num_layers=num_layers, **overrides).prepare(dataset)
+    if name == "DuoRec":
+        return DuoRec(**common, num_layers=num_layers, **overrides)
+    if name == "SLIME4Rec":
+        config = SlimeConfig(
+            num_items=dataset.num_items,
+            max_len=dataset.max_len,
+            hidden_dim=hidden_dim,
+            num_layers=num_layers,
+            seed=seed,
+            **overrides,
+        )
+        return Slime4Rec(config)
+    raise KeyError(f"unknown model '{name}'; choose from {BASELINE_NAMES}")

@@ -1,0 +1,96 @@
+"""Configuration for SLIME4Rec."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["SlideMode", "SlimeConfig"]
+
+
+class SlideMode(enum.Enum):
+    """The four frequency-ramp slide modes of Table IV.
+
+    The value is a pair of directions ``(dfs, sfs)``; ``"high_to_low"``
+    is the paper's ``<-`` arrow (window starts at the high-frequency end
+    in layer 0 and slides towards low frequencies with depth).
+    """
+
+    MODE_1 = ("high_to_low", "low_to_high")
+    MODE_2 = ("low_to_high", "high_to_low")
+    MODE_3 = ("low_to_high", "low_to_high")
+    MODE_4 = ("high_to_low", "high_to_low")  # paper default / best
+
+    @property
+    def dfs_direction(self) -> str:
+        return self.value[0]
+
+    @property
+    def sfs_direction(self) -> str:
+        return self.value[1]
+
+
+@dataclass
+class SlimeConfig:
+    """Hyper-parameters of SLIME4Rec (paper Section IV-D defaults).
+
+    Attributes
+    ----------
+    num_items:
+        Number of real items; the embedding table has ``num_items + 1``
+        rows (id 0 is padding).
+    max_len:
+        Input sequence length ``N`` (paper searches {25, 50, 75, 100}).
+    hidden_dim:
+        Embedding / model width ``d`` (paper default 64).
+    num_layers:
+        Number of filter mixer blocks ``L`` (paper searches {2, 4, 8}).
+    alpha:
+        Dynamic filter size ratio ``S_D / M`` in [0, 1] (Eq. 19).
+    gamma:
+        Mixing weight of the static branch (Eq. 26).
+    slide_mode:
+        Which of the four Table-IV ramp directions to use.
+    use_dfs / use_sfs:
+        Ablation switches (Figure 3's w/oD and w/oS variants).
+    embed_dropout / hidden_dropout:
+        Dropout rates (paper searches {0.1 .. 0.5}).
+    cl_weight:
+        Lambda, strength of the contrastive regularizer (Eq. 36);
+        0 disables contrastive learning (the w/oC variant).
+    cl_temperature:
+        Softmax temperature of the InfoNCE objective.
+    noise_eps:
+        When positive, uniform noise of this relative magnitude is
+        injected into every layer input (the Figure 6 robustness knob).
+    seed:
+        Parameter-init and dropout seed.
+    """
+
+    num_items: int
+    max_len: int = 50
+    hidden_dim: int = 64
+    num_layers: int = 2
+    alpha: float = 0.4
+    gamma: float = 0.5
+    slide_mode: SlideMode = SlideMode.MODE_4
+    use_dfs: bool = True
+    use_sfs: bool = True
+    embed_dropout: float = 0.3
+    hidden_dropout: float = 0.3
+    cl_weight: float = 0.1
+    cl_temperature: float = 1.0
+    noise_eps: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if not (self.use_dfs or self.use_sfs):
+            raise ValueError("at least one of use_dfs/use_sfs must be enabled")
+        if isinstance(self.slide_mode, int):
+            self.slide_mode = SlideMode[f"MODE_{self.slide_mode}"]

@@ -1,0 +1,148 @@
+"""Shared encoder plumbing for all sequential recommenders.
+
+Every model in this repo (SLIME4Rec and the baselines) shares the same
+outer structure from the paper's Figure 2:
+
+- an **embedding layer**: item embedding + learnable positional
+  embedding, LayerNorm and dropout (Eqs. 9-10);
+- a model-specific stack of encoder blocks;
+- a **prediction layer**: dot product between the last hidden state and
+  the item embedding table (Eq. 31), trained with cross-entropy
+  (Eq. 32).
+
+:class:`SequentialEncoderBase` implements the shared pieces; subclasses
+override :meth:`encode_states`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, Module
+
+__all__ = ["SequentialEncoderBase", "PointwiseFeedForward"]
+
+
+class PointwiseFeedForward(Module):
+    """The paper's FFN (Eq. 29): ``GELU(x W1 + b1) W2 + b2``.
+
+    The caller applies Eq. 30's densely-residual LayerNorm; this module
+    is just the two-layer MLP with GELU.
+    """
+
+    def __init__(self, dim: int, inner_dim: int | None = None, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        inner_dim = inner_dim or dim
+        self.fc1 = Linear(dim, inner_dim, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(inner_dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class SequentialEncoderBase(Module):
+    """Embedding layer + prediction layer shared by all models.
+
+    Parameters
+    ----------
+    num_items:
+        Real item count; embedding table gets ``num_items + 1 + extra_tokens`` rows.
+    max_len:
+        Sequence length ``N``.
+    hidden_dim:
+        Width ``d``.
+    embed_dropout:
+        Dropout applied after the positional sum (Eq. 10).
+    extra_tokens:
+        Additional special tokens after the item range (BERT4Rec's
+        ``[mask]`` token lives there).
+    noise_eps:
+        When > 0, uniform noise of this relative magnitude is added to
+        every layer input via :meth:`inject_noise` (Figure 6 protocol).
+    """
+
+    def __init__(
+        self,
+        num_items: int,
+        max_len: int,
+        hidden_dim: int,
+        embed_dropout: float = 0.3,
+        extra_tokens: int = 0,
+        noise_eps: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_items = num_items
+        self.max_len = max_len
+        self.hidden_dim = hidden_dim
+        self.noise_eps = noise_eps
+        self._noise_rng = np.random.default_rng(seed + 104729)
+        self.item_embedding = Embedding(num_items + 1 + extra_tokens, hidden_dim, padding_idx=0, rng=rng)
+        self.position_embedding = Embedding(max_len, hidden_dim, rng=rng)
+        self.embed_norm = LayerNorm(hidden_dim)
+        self.embed_dropout = Dropout(embed_dropout, rng=np.random.default_rng(seed + 1))
+
+    # ------------------------------------------------------------------
+    def embed(self, input_ids: np.ndarray) -> Tensor:
+        """Eqs. 9-10: lookup + positions + LayerNorm + dropout."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        batch, length = input_ids.shape
+        if length != self.max_len:
+            raise ValueError(f"expected sequences of length {self.max_len}, got {length}")
+        items = self.item_embedding(input_ids)
+        positions = self.position_embedding(np.arange(length))
+        summed = F.add(items, positions)
+        return self.embed_dropout(self.embed_norm(summed))
+
+    def inject_noise(self, x: Tensor) -> Tensor:
+        """Add uniform noise scaled by the representation magnitude.
+
+        Implements the Figure 6 robustness protocol: noise
+        ``eps * U(-1, 1) * std(x)`` added to the layer input.  A no-op
+        when ``noise_eps`` is zero.
+        """
+        if self.noise_eps <= 0.0:
+            return x
+        scale = float(x.data.std()) * self.noise_eps
+        noise = self._noise_rng.uniform(-scale, scale, size=x.shape).astype(x.dtype)
+        return F.add(x, Tensor(noise))
+
+    # ------------------------------------------------------------------
+    def encode_states(self, input_ids: np.ndarray) -> Tensor:
+        """Return hidden states ``(B, N, d)``; subclasses implement."""
+        raise NotImplementedError
+
+    def user_representation(self, input_ids: np.ndarray) -> Tensor:
+        """Last hidden state ``h_t^L`` as the user vector (Section III-D)."""
+        states = self.encode_states(input_ids)
+        return F.getitem(states, (slice(None), -1))
+
+    def logits(self, input_ids: np.ndarray) -> Tensor:
+        """Scores over the full vocabulary: ``h @ M_V^T`` (Eq. 31)."""
+        user = self.user_representation(input_ids)
+        table = F.transpose(self._score_table(), (1, 0))
+        return F.matmul(user, table)
+
+    def _score_table(self) -> Tensor:
+        """Embedding rows used for scoring (padding + real items only)."""
+        weight = self.item_embedding.weight
+        if weight.shape[0] == self.num_items + 1:
+            return weight
+        return F.getitem(weight, slice(0, self.num_items + 1))
+
+    def predict_scores(self, input_ids: np.ndarray) -> np.ndarray:
+        """Numpy scores for evaluation (no graph)."""
+        return self.logits(input_ids).data
+
+    def recommendation_loss(self, input_ids: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Cross-entropy over the full softmax (Eq. 32)."""
+        return F.cross_entropy(self.logits(input_ids), targets)
+
+    # Default training objective; contrastive models override.
+    def loss(self, batch) -> Tensor:
+        return self.recommendation_loss(batch.input_ids, batch.targets)

@@ -1,0 +1,118 @@
+"""Filter mixer block (Section III-B): DFS + SFS + FFN.
+
+Each block:
+
+1. FFTs the input along the sequence axis (Eq. 12),
+2. multiplies the spectrum by a learnable *dynamic* filter restricted
+   to the layer's sliding window (Eq. 21) and, in parallel, by a
+   learnable *static* filter restricted to the layer's split band
+   (Eq. 25),
+3. mixes the two spectra ``(1-gamma) * X_D + gamma * X_S`` and inverse
+   FFTs back to time (Eqs. 26-27) — by linearity of the inverse FFT the
+   implementation mixes the two filtered time signals, which is
+   mathematically identical,
+4. residual + LayerNorm + dropout (Eq. 28),
+5. pointwise FFN with the densely-residual LayerNorm of Eq. 30.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.spectral import num_frequency_bins, spectral_filter
+from repro.autograd.tensor import Tensor
+from repro.core.encoder import PointwiseFeedForward
+from repro.nn import Dropout, LayerNorm, Module, Parameter
+
+__all__ = ["FilterMixerLayer"]
+
+
+class FilterMixerLayer(Module):
+    """One filter mixer block with fixed DFS/SFS frequency windows.
+
+    Parameters
+    ----------
+    seq_len, hidden_dim:
+        Input geometry ``(N, d)``; filters live on ``M = N//2+1`` bins.
+    dfs_mask, sfs_mask:
+        Per-layer binary windows from the frequency ramp structure;
+        pass ``None`` to disable a branch (ablations w/oD and w/oS).
+    gamma:
+        Static-branch mixing weight (Eq. 26); ignored when a branch is
+        disabled.
+    dropout:
+        Dropout rate used at both Eq. 28 and Eq. 30 sites.
+    filter_init_std:
+        Std of the complex filter init (FMLP-Rec uses 0.02).
+    """
+
+    def __init__(
+        self,
+        seq_len: int,
+        hidden_dim: int,
+        dfs_mask: np.ndarray | None,
+        sfs_mask: np.ndarray | None,
+        gamma: float = 0.5,
+        dropout: float = 0.3,
+        filter_init_std: float = 0.02,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dfs_mask is None and sfs_mask is None:
+            raise ValueError("at least one of dfs_mask/sfs_mask is required")
+        rng = rng or np.random.default_rng()
+        m = num_frequency_bins(seq_len)
+        self.seq_len = seq_len
+        self.gamma = gamma
+
+        self.dfs_mask = None
+        if dfs_mask is not None:
+            self.dfs_mask = self._check_mask(dfs_mask, m)
+            self.dfs_real = Parameter(rng.normal(0, filter_init_std, (m, hidden_dim)), name="dfs_real")
+            self.dfs_imag = Parameter(rng.normal(0, filter_init_std, (m, hidden_dim)), name="dfs_imag")
+
+        self.sfs_mask = None
+        if sfs_mask is not None:
+            self.sfs_mask = self._check_mask(sfs_mask, m)
+            self.sfs_real = Parameter(rng.normal(0, filter_init_std, (m, hidden_dim)), name="sfs_real")
+            self.sfs_imag = Parameter(rng.normal(0, filter_init_std, (m, hidden_dim)), name="sfs_imag")
+
+        self.filter_norm = LayerNorm(hidden_dim)
+        self.filter_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
+        self.ffn = PointwiseFeedForward(hidden_dim, rng=rng)
+        self.ffn_norm = LayerNorm(hidden_dim)
+        self.ffn_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
+
+    @staticmethod
+    def _check_mask(mask: np.ndarray, m: int) -> np.ndarray:
+        mask = np.asarray(mask, dtype=np.float64).reshape(-1)
+        if mask.shape[0] != m:
+            raise ValueError(f"mask has {mask.shape[0]} bins, expected {m}")
+        return mask
+
+    # ------------------------------------------------------------------
+    def mix_spectra(self, x: Tensor) -> Tensor:
+        """Eqs. 21 + 25 + 26-27: filter, mix, return time-domain signal."""
+        branches = []
+        if self.dfs_mask is not None:
+            branches.append(
+                ("dfs", spectral_filter(x, self.dfs_real, self.dfs_imag, self.dfs_mask))
+            )
+        if self.sfs_mask is not None:
+            branches.append(
+                ("sfs", spectral_filter(x, self.sfs_real, self.sfs_imag, self.sfs_mask))
+            )
+        if len(branches) == 1:
+            return branches[0][1]
+        dfs_out = branches[0][1]
+        sfs_out = branches[1][1]
+        return F.add(F.mul(dfs_out, 1.0 - self.gamma), F.mul(sfs_out, self.gamma))
+
+    def forward(self, x: Tensor) -> Tensor:
+        filtered = self.mix_spectra(x)
+        # Eq. 28: residual + dropout + LayerNorm.
+        hidden = self.filter_norm(F.add(x, self.filter_dropout(filtered)))
+        # Eqs. 29-30: FFN with densely-residual LayerNorm.
+        ffn_out = self.ffn(hidden)
+        return self.ffn_norm(F.add(F.add(x, hidden), self.ffn_dropout(ffn_out)))

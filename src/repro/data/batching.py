@@ -1,0 +1,80 @@
+"""Mini-batch iteration over training instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.dataset import SequenceDataset
+
+__all__ = ["Batch", "BatchIterator"]
+
+
+@dataclass
+class Batch:
+    """One training mini-batch.
+
+    ``input_ids`` is ``(B, N)`` int64 (0 = padding), ``targets`` is
+    ``(B,)``.  When the iterator was built with same-target sampling,
+    ``positive_ids`` holds another sequence per row that shares the same
+    target item (DuoRec's supervised contrastive positive).
+    """
+
+    input_ids: np.ndarray
+    targets: np.ndarray
+    positive_ids: Optional[np.ndarray] = None
+    instance_indices: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return self.input_ids.shape[0]
+
+
+class BatchIterator:
+    """Shuffled epoch iterator over a dataset's training instances.
+
+    Parameters
+    ----------
+    dataset:
+        The preprocessed :class:`SequenceDataset`.
+    batch_size:
+        Rows per batch (the trailing partial batch is kept).
+    with_same_target:
+        Also sample a same-target positive sequence per row.
+    seed:
+        Shuffle seed; each epoch reshuffles deterministically.
+    """
+
+    def __init__(
+        self,
+        dataset: SequenceDataset,
+        batch_size: int = 256,
+        with_same_target: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.with_same_target = with_same_target
+        self._rng = np.random.default_rng(seed)
+        self._inputs, self._targets = dataset.train_arrays()
+
+    def __len__(self) -> int:
+        return (len(self._targets) + self.batch_size - 1) // self.batch_size
+
+    def epoch(self) -> Iterator[Batch]:
+        order = self._rng.permutation(len(self._targets))
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            positives = None
+            if self.with_same_target:
+                pos_idx = np.array(
+                    [self.dataset.sample_same_target(int(i), self._rng) for i in idx]
+                )
+                positives = self._inputs[pos_idx]
+            yield Batch(
+                input_ids=self._inputs[idx],
+                targets=self._targets[idx],
+                positive_ids=positives,
+                instance_indices=idx,
+            )

@@ -1,0 +1,16 @@
+"""Evaluation protocol: full-catalog ranking, HR@K, NDCG@K, MRR."""
+
+from repro.evaluation.metrics import hit_ratio_at_k, mrr, mrr_at_k, ndcg_at_k, rank_of_target
+from repro.evaluation.evaluator import Evaluator, EvalResult
+from repro.evaluation.sampled import SampledEvaluator
+
+__all__ = [
+    "hit_ratio_at_k",
+    "ndcg_at_k",
+    "mrr",
+    "mrr_at_k",
+    "rank_of_target",
+    "Evaluator",
+    "EvalResult",
+    "SampledEvaluator",
+]

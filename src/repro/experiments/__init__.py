@@ -1,0 +1,58 @@
+"""Experiment harness: one runnable per paper table/figure.
+
+Each experiment function accepts an :class:`ExperimentBudget` that
+scales dataset size and training epochs, so the same code serves both
+quick CI benchmarks (small budget) and full reproduction runs (large
+budget).  ``EXPERIMENTS`` maps experiment ids (``table1`` .. ``fig7``,
+``complexity``) to their runners.
+"""
+
+from repro.experiments.common import ExperimentBudget, run_model
+from repro.experiments.tables import (
+    run_table1_dataset_stats,
+    run_table2_overall_performance,
+    run_table3_filter_module_designs,
+    run_table4_slide_modes,
+    run_table5_depth_comparison,
+)
+from repro.experiments.figures import (
+    run_fig3_ablation,
+    run_fig4_alpha_sweep,
+    run_fig5_seqlen_and_hidden,
+    run_fig6_noise_robustness,
+    run_fig7_filter_visualization,
+)
+from repro.experiments.complexity import run_complexity_comparison
+from repro.experiments.visualization import ascii_heatmap
+
+EXPERIMENTS = {
+    "table1": run_table1_dataset_stats,
+    "table2": run_table2_overall_performance,
+    "table3": run_table3_filter_module_designs,
+    "table4": run_table4_slide_modes,
+    "table5": run_table5_depth_comparison,
+    "fig3": run_fig3_ablation,
+    "fig4": run_fig4_alpha_sweep,
+    "fig5": run_fig5_seqlen_and_hidden,
+    "fig6": run_fig6_noise_robustness,
+    "fig7": run_fig7_filter_visualization,
+    "complexity": run_complexity_comparison,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentBudget",
+    "run_model",
+    "ascii_heatmap",
+    "run_table1_dataset_stats",
+    "run_table2_overall_performance",
+    "run_table3_filter_module_designs",
+    "run_table4_slide_modes",
+    "run_table5_depth_comparison",
+    "run_fig3_ablation",
+    "run_fig4_alpha_sweep",
+    "run_fig5_seqlen_and_hidden",
+    "run_fig6_noise_robustness",
+    "run_fig7_filter_visualization",
+    "run_complexity_comparison",
+]

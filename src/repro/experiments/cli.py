@@ -1,0 +1,72 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.cli table2 --budget small
+    python -m repro.experiments.cli fig4 --budget quick
+    python -m repro.experiments.cli all --budget quick
+
+Budgets: ``quick`` (seconds-scale CI budget), ``small`` (minutes),
+``full`` (the complete preset sizes and paper-scale epochs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments import EXPERIMENTS, ExperimentBudget
+
+_BUDGETS = {
+    "quick": ExperimentBudget.quick,
+    "small": ExperimentBudget.small,
+    "full": ExperimentBudget,
+}
+
+
+def _to_jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate SLIME4Rec paper tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument("--budget", choices=sorted(_BUDGETS), default="quick")
+    parser.add_argument("--json", action="store_true", help="print raw JSON")
+    args = parser.parse_args(argv)
+
+    budget = _BUDGETS[args.budget]()
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner = EXPERIMENTS[name]
+        start = time.time()
+        result = runner(budget) if name != "complexity" else runner()
+        elapsed = time.time() - start
+        print(f"\n### {name} ({elapsed:.1f}s)")
+        if args.json:
+            print(json.dumps(_to_jsonable(result), indent=2))
+        else:
+            for key, value in _to_jsonable(result).items():
+                print(f"{key:<44} {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

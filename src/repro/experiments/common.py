@@ -1,0 +1,100 @@
+"""Shared experiment infrastructure: budgets, model runs, caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.baselines import build_baseline
+from repro.data.dataset import SequenceDataset
+from repro.data.synthetic import load_preset
+from repro.train import TrainConfig, Trainer
+
+__all__ = ["ExperimentBudget", "run_model"]
+
+
+@dataclass
+class ExperimentBudget:
+    """Scales every experiment between CI-quick and full reproduction.
+
+    Attributes
+    ----------
+    scale:
+        Multiplier on synthetic user/item counts (1.0 = preset size).
+    epochs:
+        Training epochs per model.
+    max_len:
+        Sequence length ``N`` (paper default 50).
+    hidden_dim:
+        Model width ``d`` (paper default 64).
+    batch_size, patience, seed:
+        Trainer knobs.
+    datasets:
+        Which presets to touch; ``None`` means all five.
+    """
+
+    scale: float = 1.0
+    epochs: int = 30
+    max_len: int = 50
+    hidden_dim: int = 64
+    batch_size: int = 256
+    patience: int = 5
+    seed: int = 0
+    datasets: Optional[list] = None
+    _dataset_cache: Dict[str, SequenceDataset] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def quick(cls) -> "ExperimentBudget":
+        """The CI/benchmark budget: tiny datasets, few epochs."""
+        return cls(
+            scale=0.12, epochs=3, max_len=16, hidden_dim=24,
+            batch_size=128, patience=0, datasets=["beauty", "ml1m"],
+        )
+
+    @classmethod
+    def small(cls) -> "ExperimentBudget":
+        """A few-minutes budget giving meaningful orderings."""
+        return cls(
+            scale=0.3, epochs=10, max_len=24, hidden_dim=32,
+            batch_size=256, patience=3,
+        )
+
+    def dataset(self, name: str) -> SequenceDataset:
+        if name not in self._dataset_cache:
+            self._dataset_cache[name] = load_preset(
+                name, scale=self.scale, max_len=self.max_len
+            )
+        return self._dataset_cache[name]
+
+    def dataset_names(self) -> list:
+        return self.datasets or ["beauty", "clothing", "sports", "ml1m", "yelp"]
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            patience=self.patience,
+            seed=self.seed,
+        )
+
+
+def run_model(
+    model_name: str,
+    dataset: SequenceDataset,
+    budget: ExperimentBudget,
+    num_layers: int = 2,
+    **model_overrides,
+) -> Dict[str, float]:
+    """Train one model on one dataset and return its test metrics."""
+    model = build_baseline(
+        model_name,
+        dataset,
+        hidden_dim=budget.hidden_dim,
+        num_layers=num_layers,
+        seed=budget.seed,
+        **model_overrides,
+    )
+    needs_positive = model_name in ("DuoRec", "SLIME4Rec")
+    trainer = Trainer(model, dataset, budget.train_config(), with_same_target=needs_positive)
+    trainer.fit()
+    return dict(trainer.test().metrics)

@@ -1,0 +1,116 @@
+"""Runners for the paper's Tables I-V."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines import BASELINE_NAMES
+from repro.experiments.common import ExperimentBudget, run_model
+
+__all__ = [
+    "run_table1_dataset_stats",
+    "run_table2_overall_performance",
+    "run_table3_filter_module_designs",
+    "run_table4_slide_modes",
+    "run_table5_depth_comparison",
+]
+
+
+def run_table1_dataset_stats(budget: ExperimentBudget) -> Dict[str, Dict[str, float]]:
+    """Table I: statistics of the five datasets after preprocessing."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in budget.dataset_names():
+        stats = budget.dataset(name).stats()
+        rows[name] = {
+            "users": stats.num_users,
+            "items": stats.num_items,
+            "avg_length": round(stats.avg_length, 2),
+            "actions": stats.num_actions,
+            "sparsity": round(stats.sparsity, 4),
+        }
+    return rows
+
+
+def run_table2_overall_performance(
+    budget: ExperimentBudget, models: List[str] | None = None
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Table II: HR/NDCG@{5,10} for every model on every dataset.
+
+    Returns ``{dataset: {model: metrics}}`` plus the relative
+    improvement of SLIME4Rec over the best baseline per metric.
+    """
+    models = models or BASELINE_NAMES
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for ds_name in budget.dataset_names():
+        dataset = budget.dataset(ds_name)
+        table[ds_name] = {}
+        for model_name in models:
+            table[ds_name][model_name] = run_model(model_name, dataset, budget)
+        if "SLIME4Rec" in models and len(models) > 1:
+            table[ds_name]["_improvement_vs_best_baseline"] = _improvement(
+                table[ds_name], models
+            )
+    return table
+
+
+def _improvement(rows: Dict[str, Dict[str, float]], models: List[str]) -> Dict[str, float]:
+    ours = rows["SLIME4Rec"]
+    improvements = {}
+    for metric in ours:
+        best = max(
+            rows[m][metric] for m in models if m != "SLIME4Rec"
+        )
+        improvements[metric] = round((ours[metric] - best) / max(best, 1e-9) * 100, 2)
+    return improvements
+
+
+def run_table3_filter_module_designs(budget: ExperimentBudget) -> Dict[str, Dict[str, float]]:
+    """Table III: DFS-only vs DFS+SFS at L in {2,4,8}, alpha ~ 1/L-ish.
+
+    The paper pairs (L=2, alpha=0.3), (L=4, alpha=0.2), (L=8, alpha=0.1)
+    and contrasts DFS alone against DFS mixed with SFS (beta = 1/L).
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    pairs = [(2, 0.3), (4, 0.2), (8, 0.1)]
+    for ds_name in budget.dataset_names():
+        dataset = budget.dataset(ds_name)
+        for layers, alpha in pairs:
+            dfs_only = run_model(
+                "SLIME4Rec", dataset, budget, num_layers=layers,
+                alpha=alpha, use_sfs=False,
+            )
+            both = run_model(
+                "SLIME4Rec", dataset, budget, num_layers=layers, alpha=alpha,
+            )
+            results[f"{ds_name}/L={layers}/alpha={alpha}/DFS"] = dfs_only
+            results[f"{ds_name}/L={layers}/alpha={alpha}/DFS+SFS"] = both
+    return results
+
+
+def run_table4_slide_modes(budget: ExperimentBudget) -> Dict[str, Dict[str, float]]:
+    """Table IV: the four frequency-ramp slide direction combinations."""
+    results: Dict[str, Dict[str, float]] = {}
+    for ds_name in budget.dataset_names():
+        dataset = budget.dataset(ds_name)
+        for mode in (1, 2, 3, 4):
+            results[f"{ds_name}/mode{mode}"] = run_model(
+                "SLIME4Rec", dataset, budget, slide_mode=mode
+            )
+    return results
+
+
+def run_table5_depth_comparison(budget: ExperimentBudget) -> Dict[str, Dict[str, float]]:
+    """Table V: SLIME4Rec vs DuoRec at L in {2, 4, 8}."""
+    results: Dict[str, Dict[str, float]] = {}
+    for ds_name in budget.dataset_names():
+        dataset = budget.dataset(ds_name)
+        for layers in (2, 4, 8):
+            # Smaller alpha for deeper models, as the paper tunes.
+            alpha = {2: 0.4, 4: 0.2, 8: 0.1}[layers]
+            results[f"{ds_name}/L={layers}/DuoRec"] = run_model(
+                "DuoRec", dataset, budget, num_layers=layers
+            )
+            results[f"{ds_name}/L={layers}/SLIME4Rec"] = run_model(
+                "SLIME4Rec", dataset, budget, num_layers=layers, alpha=alpha
+            )
+    return results

@@ -1,0 +1,33 @@
+"""Terminal-friendly visualization of learned filters (Figure 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_heatmap"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(matrix: np.ndarray, title: str = "", width: int = 64) -> str:
+    """Render a 2-D non-negative matrix as an ASCII heat map.
+
+    Rows are layers, columns frequency bins (downsampled to ``width``).
+    Darker characters mean larger amplitude — the textual analogue of
+    the paper's Figure 7 filter plots.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=float))
+    if matrix.shape[1] > width:
+        # Average-pool columns down to the display width.
+        edges = np.linspace(0, matrix.shape[1], width + 1).astype(int)
+        matrix = np.stack(
+            [matrix[:, a:b].mean(axis=1) for a, b in zip(edges[:-1], edges[1:])], axis=1
+        )
+    lo, hi = matrix.min(), matrix.max()
+    scale = (len(_SHADES) - 1) / (hi - lo) if hi > lo else 0.0
+    lines = [title] if title else []
+    for row_idx, row in enumerate(matrix):
+        chars = "".join(_SHADES[int((v - lo) * scale)] for v in row)
+        lines.append(f"layer {row_idx}: |{chars}|")
+    lines.append(f"{'':>9}low freq {'-' * max(0, matrix.shape[1] - 18)} high freq")
+    return "\n".join(lines)

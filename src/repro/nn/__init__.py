@@ -1,0 +1,31 @@
+"""Neural-network modules built on the repro autograd engine."""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.normalization import LayerNorm
+from repro.nn.dropout import Dropout
+from repro.nn.activation import GELU, ReLU, Tanh, Sigmoid
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.recurrent import GRU
+from repro.nn.conv import HorizontalConv, VerticalConv
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "GELU",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "MultiHeadSelfAttention",
+    "GRU",
+    "HorizontalConv",
+    "VerticalConv",
+    "init",
+]

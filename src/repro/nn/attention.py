@@ -1,0 +1,103 @@
+"""Multi-head self-attention (used by the Transformer baselines).
+
+SLIME4Rec itself is attention-free; this module exists so SASRec,
+BERT4Rec, CL4SRec, CoSeRec, DuoRec and ContrastVAE can be reproduced on
+the same substrate, and so the Section III-F complexity comparison has a
+real self-attention implementation to benchmark against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+__all__ = ["MultiHeadSelfAttention", "causal_mask"]
+
+
+def causal_mask(n: int) -> np.ndarray:
+    """Boolean (n, n) mask that is True where attention must be blocked."""
+    return np.triu(np.ones((n, n), dtype=bool), k=1)
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention with ``num_heads`` heads.
+
+    Parameters
+    ----------
+    dim:
+        Model width; must be divisible by ``num_heads``.
+    num_heads:
+        Number of attention heads.
+    dropout:
+        Attention-probability dropout rate.
+    causal:
+        When True a causal (left-to-right) mask is applied, as in
+        SASRec.  Bidirectional models (BERT4Rec) pass False.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        causal: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.query = Linear(dim, dim, rng=rng)
+        self.key = Linear(dim, dim, rng=rng)
+        self.value = Linear(dim, dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        x = F.reshape(x, (batch, length, self.num_heads, self.head_dim))
+        return F.transpose(x, (0, 2, 1, 3))  # (B, H, N, hd)
+
+    def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
+        """Attend over the sequence axis.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(B, N, dim)``.
+        key_padding_mask:
+            Optional boolean array of shape ``(B, N)`` that is True at
+            padding positions (those keys are never attended to).
+        """
+        batch, length, _ = x.shape
+        q = self._split_heads(self.query(x), batch, length)
+        k = self._split_heads(self.key(x), batch, length)
+        v = self._split_heads(self.value(x), batch, length)
+
+        scores = F.matmul(q, F.transpose(k, (0, 1, 3, 2)))  # (B, H, N, N)
+        scores = F.mul(scores, 1.0 / np.sqrt(self.head_dim))
+
+        block = np.zeros((batch, 1, length, length), dtype=bool)
+        if self.causal:
+            block |= causal_mask(length)[None, None]
+        if key_padding_mask is not None:
+            block |= key_padding_mask[:, None, None, :]
+        # Keep each query's own position attendable so fully-masked rows
+        # cannot produce NaN softmax outputs.
+        eye = np.eye(length, dtype=bool)[None, None]
+        block = block & ~eye
+        scores = F.masked_fill(scores, block, -1e9)
+
+        probs = self.attn_dropout(F.softmax(scores, axis=-1))
+        context = F.matmul(probs, v)  # (B, H, N, hd)
+        context = F.transpose(context, (0, 2, 1, 3))
+        context = F.reshape(context, (batch, length, self.dim))
+        return self.out(context)

@@ -1,0 +1,34 @@
+"""Dropout layer with an owned random stream."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode.
+
+    Each instance owns a ``numpy.random.Generator`` so two dropout
+    layers with different seeds produce *different* stochastic views of
+    the same input — exactly the property SLIME4Rec's unsupervised
+    contrastive augmentation relies on.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

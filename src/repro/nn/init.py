@@ -1,0 +1,47 @@
+"""Weight initialization helpers.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normal", "uniform", "xavier_uniform", "xavier_normal", "zeros", "ones"]
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal init, the default for embeddings (BERT-style)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(rng: np.random.Generator, shape, low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    return rng.uniform(low, high, size=shape)
+
+
+def _fans(shape) -> tuple[int, int]:
+    if len(shape) < 2:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[0] * receptive, shape[1] * receptive
+
+
+def xavier_uniform(rng: np.random.Generator, shape) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, shape) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,31 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis with learnable affine.
+
+    The paper uses eps=1e-12 (the BERT/FMLP-Rec convention).
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-12) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim), name="gamma")
+        self.beta = Parameter(np.zeros(dim), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.dim}, eps={self.eps})"

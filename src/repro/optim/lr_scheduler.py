@@ -1,0 +1,78 @@
+"""Learning-rate schedules.
+
+The paper trains with a constant lr=1e-3, but depth experiments
+(Table V, L=8) benefit from warmup on some seeds; schedulers are
+provided as an opt-in trainer feature and ablation knob.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "StepLR", "WarmupCosineLR"]
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on every :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self._step_count = 0
+
+    def step(self) -> float:
+        """Advance one step and return the new learning rate."""
+        self._step_count += 1
+        lr = self.get_lr(self._step_count)
+        self.optimizer.lr = lr
+        return lr
+
+    def get_lr(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRScheduler):
+    def get_lr(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warmup followed by cosine decay to ``min_lr``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup_steps: int,
+        total_steps: int,
+        min_lr: float = 0.0,
+    ) -> None:
+        super().__init__(optimizer)
+        if total_steps <= warmup_steps:
+            raise ValueError("total_steps must exceed warmup_steps")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def get_lr(self, step: int) -> float:
+        if self.warmup_steps and step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        progress = (step - self.warmup_steps) / (self.total_steps - self.warmup_steps)
+        progress = min(progress, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine

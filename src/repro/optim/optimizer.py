@@ -1,0 +1,41 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Optimizer", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class: holds parameter references and clears gradients."""
+
+    def __init__(self, params: Iterable[Tensor]) -> None:
+        self.params: List[Tensor] = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Clip the global L2 norm of all gradients in-place.
+
+    Returns the pre-clipping norm (useful for logging exploding grads).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total

@@ -1,0 +1,146 @@
+"""Mini-batch trainer with validation-based early stopping.
+
+Mirrors the paper's protocol (Section IV-D): Adam with lr=1e-3, batch
+training on all prefix instances, hyper-parameters tuned on the
+validation split, final metrics reported on the test split with the
+best-validation checkpoint restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.batching import BatchIterator
+from repro.data.dataset import SequenceDataset
+from repro.evaluation.evaluator import EvalResult, Evaluator
+from repro.optim import Adam, clip_grad_norm
+
+__all__ = ["TrainConfig", "TrainHistory", "Trainer"]
+
+
+@dataclass
+class TrainConfig:
+    """Knobs of the training loop."""
+
+    epochs: int = 30
+    batch_size: int = 256
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    grad_clip: float = 5.0
+    #: early stopping patience in epochs on the monitor metric; 0 disables
+    patience: int = 5
+    monitor: str = "NDCG@10"
+    #: evaluate the validation split every this many epochs
+    eval_every: int = 1
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch record of losses and validation metrics."""
+
+    losses: List[float] = field(default_factory=list)
+    valid_metrics: List[Dict[str, float]] = field(default_factory=list)
+    best_epoch: int = -1
+    best_value: float = -np.inf
+
+    def summary(self) -> str:
+        return (
+            f"epochs={len(self.losses)} best_epoch={self.best_epoch} "
+            f"best={self.best_value:.4f} final_loss={self.losses[-1]:.4f}"
+        )
+
+
+class Trainer:
+    """Train a sequential recommender on a :class:`SequenceDataset`.
+
+    Any model exposing ``loss(batch)``, ``parameters()``,
+    ``predict_scores(...)``, ``train()/eval()``, ``state_dict()`` and
+    ``load_state_dict()`` can be trained — SLIME4Rec and all baselines
+    share that interface.
+    """
+
+    def __init__(
+        self,
+        model,
+        dataset: SequenceDataset,
+        config: Optional[TrainConfig] = None,
+        with_same_target: Optional[bool] = None,
+        scheduler_factory=None,
+    ) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainConfig()
+        if with_same_target is None:
+            with_same_target = getattr(getattr(model, "config", None), "cl_weight", 0.0) > 0.0
+        self.iterator = BatchIterator(
+            dataset,
+            batch_size=self.config.batch_size,
+            with_same_target=with_same_target,
+            seed=self.config.seed,
+        )
+        self.evaluator = Evaluator(dataset)
+        self.optimizer = Adam(
+            model.parameters(), lr=self.config.lr, weight_decay=self.config.weight_decay
+        )
+        # Optional per-step LR schedule, e.g.
+        # ``lambda opt: WarmupCosineLR(opt, 100, 1000)``.
+        self.scheduler = scheduler_factory(self.optimizer) if scheduler_factory else None
+
+    # ------------------------------------------------------------------
+    def fit(self) -> TrainHistory:
+        cfg = self.config
+        history = TrainHistory()
+        best_state = None
+        stale = 0
+        for epoch in range(cfg.epochs):
+            self.model.train()
+            epoch_losses = []
+            for batch in self.iterator.epoch():
+                self.optimizer.zero_grad()
+                loss = self.model.loss(batch)
+                loss.backward()
+                if cfg.grad_clip > 0:
+                    clip_grad_norm(self.optimizer.params, cfg.grad_clip)
+                self.optimizer.step()
+                if self.scheduler is not None:
+                    self.scheduler.step()
+                self._zero_padding_rows()
+                epoch_losses.append(float(loss.data))
+            history.losses.append(float(np.mean(epoch_losses)))
+
+            if (epoch + 1) % cfg.eval_every == 0:
+                result = self.evaluator.evaluate(self.model, split="valid")
+                history.valid_metrics.append(dict(result.metrics))
+                value = result[cfg.monitor]
+                if cfg.verbose:
+                    print(
+                        f"epoch {epoch + 1:>3} loss={history.losses[-1]:.4f} {result.as_row()}"
+                    )
+                if value > history.best_value:
+                    history.best_value = value
+                    history.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    stale = 0
+                else:
+                    stale += 1
+                    if cfg.patience and stale >= cfg.patience:
+                        break
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        return history
+
+    def _zero_padding_rows(self) -> None:
+        """Keep padding embeddings pinned at zero after every update."""
+        for module in self.model.modules():
+            zero = getattr(module, "zero_padding_row", None)
+            if callable(zero):
+                zero()
+
+    # ------------------------------------------------------------------
+    def test(self) -> EvalResult:
+        return self.evaluator.evaluate(self.model, split="test")

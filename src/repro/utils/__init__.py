@@ -1,0 +1,13 @@
+"""Cross-cutting utilities: checkpoint I/O, reporting helpers."""
+
+from repro.utils.io import save_checkpoint, load_checkpoint, save_results, load_results
+from repro.utils.reporting import format_metric_table, format_run_header
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_results",
+    "load_results",
+    "format_metric_table",
+    "format_run_header",
+]

@@ -1,0 +1,91 @@
+"""Checkpoint and experiment-result persistence.
+
+Checkpoints are ``.npz`` archives of a module's ``state_dict`` plus a
+JSON metadata side-channel (model class, config, metrics at save time)
+stored under a reserved key, so a checkpoint is self-describing.
+Experiment results are plain JSON, making them diffable in review.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "save_results", "load_results"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_checkpoint(model, path: str | Path, metadata: Optional[Dict[str, Any]] = None) -> Path:
+    """Write ``model.state_dict()`` (and optional metadata) to ``path``.
+
+    Parameters
+    ----------
+    model:
+        Any object with a ``state_dict() -> Dict[str, ndarray]`` method.
+    path:
+        Target file; the ``.npz`` suffix is added when missing.
+    metadata:
+        JSON-serializable extras (epoch, metrics, config dict, ...).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(model.state_dict())
+    if _META_KEY in payload:
+        raise ValueError(f"state dict may not use the reserved key {_META_KEY!r}")
+    meta = dict(metadata or {})
+    meta.setdefault("model_class", type(model).__name__)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(path: str | Path, model=None) -> Dict[str, Any]:
+    """Load a checkpoint; optionally restore it into ``model``.
+
+    Returns ``{"state": {...}, "metadata": {...}}``.  When ``model`` is
+    given, ``model.load_state_dict(state)`` is called (raising on any
+    key/shape mismatch, so silent partial restores cannot happen).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        metadata: Dict[str, Any] = {}
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    if model is not None:
+        model.load_state_dict(state)
+    return {"state": state, "metadata": metadata}
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def save_results(results: Dict[str, Any], path: str | Path) -> Path:
+    """Persist an experiment-result dict as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(results), indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: str | Path) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,19 @@
+"""Shared fixtures: float64 default dtype for tight gradient tolerances."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def _float64_default():
+    """Run every test in float64 so gradchecks are numerically tight."""
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(np.float32)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,125 @@
+"""Tests for sequence augmentations and the batch iterator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.augmentation import (
+    ItemCorrelation,
+    crop_sequence,
+    insert_sequence,
+    mask_sequence,
+    reorder_sequence,
+    substitute_sequence,
+)
+from repro.data.batching import BatchIterator
+from repro.data.dataset import SequenceDataset
+from repro.data.synthetic import SyntheticConfig, generate_interactions
+
+seq_strategy = st.lists(st.integers(1, 30), min_size=1, max_size=25)
+
+
+class TestCrop:
+    @given(seq=seq_strategy, ratio=st.floats(0.1, 1.0), seed=st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_is_contiguous_subsequence(self, seq, ratio, seed):
+        out = crop_sequence(seq, ratio, np.random.default_rng(seed))
+        joined = ",".join(map(str, seq))
+        assert ",".join(map(str, out)) in joined
+
+    def test_single_item_unchanged(self):
+        assert crop_sequence([5], 0.5, np.random.default_rng(0)) == [5]
+
+
+class TestMask:
+    @given(seq=seq_strategy, ratio=st.floats(0.0, 1.0), seed=st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_length_preserved(self, seq, ratio, seed):
+        out = mask_sequence(seq, ratio, 0, np.random.default_rng(seed))
+        assert len(out) == len(seq)
+
+    def test_masked_positions_get_mask_id(self):
+        out = mask_sequence([1, 2, 3, 4], 1.0, 99, np.random.default_rng(0))
+        assert out.count(99) >= 1
+        assert all(x == 99 or x in [1, 2, 3, 4] for x in out)
+
+
+class TestReorder:
+    @given(seq=seq_strategy, ratio=st.floats(0.1, 1.0), seed=st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_multiset_preserved(self, seq, ratio, seed):
+        out = reorder_sequence(seq, ratio, np.random.default_rng(seed))
+        assert sorted(out) == sorted(seq)
+
+
+class TestCorrelationAugmentations:
+    @pytest.fixture
+    def corr(self):
+        seqs = [[1, 2, 3, 1, 2], [2, 3, 4, 2, 3], [1, 4, 1, 4, 2]]
+        return ItemCorrelation(seqs, window=2)
+
+    def test_most_correlated_returns_neighbour(self, corr):
+        rng = np.random.default_rng(0)
+        assert corr.most_correlated(1, rng) in {1, 2, 3, 4}
+
+    def test_unknown_item_maps_to_itself(self, corr):
+        assert corr.most_correlated(999, np.random.default_rng(0)) == 999
+
+    def test_substitute_preserves_length(self, corr):
+        seq = [1, 2, 3, 4]
+        out = substitute_sequence(seq, 0.5, corr, np.random.default_rng(0))
+        assert len(out) == len(seq)
+
+    def test_insert_grows_sequence(self, corr):
+        seq = [1, 2, 3, 4]
+        out = insert_sequence(seq, 0.5, corr, np.random.default_rng(0))
+        assert len(out) > len(seq)
+
+    def test_insert_keeps_original_items_in_order(self, corr):
+        seq = [1, 2, 3, 4]
+        out = insert_sequence(seq, 0.5, corr, np.random.default_rng(0))
+        it = iter(out)
+        assert all(x in it for x in seq)  # subsequence check
+
+
+@pytest.fixture
+def dataset():
+    cfg = SyntheticConfig(num_users=50, num_items=40, seed=3)
+    return SequenceDataset(generate_interactions(cfg), max_len=10)
+
+
+class TestBatchIterator:
+    def test_covers_all_instances_once(self, dataset):
+        it = BatchIterator(dataset, batch_size=32, seed=0)
+        seen = []
+        for batch in it.epoch():
+            seen.extend(batch.instance_indices.tolist())
+        assert sorted(seen) == list(range(len(dataset.train_instances)))
+
+    def test_len_counts_batches(self, dataset):
+        it = BatchIterator(dataset, batch_size=32, seed=0)
+        assert len(it) == len(list(it.epoch()))
+
+    def test_epochs_reshuffle(self, dataset):
+        it = BatchIterator(dataset, batch_size=1000, seed=0)
+        first = next(iter(it.epoch())).instance_indices.tolist()
+        second = next(iter(it.epoch())).instance_indices.tolist()
+        assert first != second
+
+    def test_same_target_positive_alignment(self, dataset):
+        it = BatchIterator(dataset, batch_size=16, with_same_target=True, seed=0)
+        batch = next(iter(it.epoch()))
+        assert batch.positive_ids is not None
+        assert batch.positive_ids.shape == batch.input_ids.shape
+
+    def test_without_same_target_positive_is_none(self, dataset):
+        it = BatchIterator(dataset, batch_size=16, seed=0)
+        batch = next(iter(it.epoch()))
+        assert batch.positive_ids is None
+
+    def test_batch_shapes(self, dataset):
+        it = BatchIterator(dataset, batch_size=16, seed=0)
+        batch = next(iter(it.epoch()))
+        assert batch.input_ids.shape == (16, 10)
+        assert batch.targets.shape == (16,)
+        assert len(batch) == 16

@@ -1,0 +1,143 @@
+"""Tests for the Tensor core: graph recording, backward, grad modes."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, set_default_dtype, unbroadcast
+
+
+class TestTensorBasics:
+    def test_scalar_creation_uses_default_dtype(self):
+        assert Tensor(1.5).dtype == np.float64
+
+    def test_integer_data_stays_integer(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.int64
+
+    def test_integer_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor([1, 2, 3], requires_grad=True)
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        assert b._backward is None
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor(3.0, requires_grad=True)
+        y = x * x  # y = x^2, dy/dx = 2x
+        y.backward()
+        assert np.isclose(x.grad, 6.0)
+
+    def test_gradient_accumulates_across_backward_calls(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x * x).backward()
+        (x * x).backward()
+        assert np.isclose(x.grad, 8.0)
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        x = Tensor(2.0, requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        out = a + b
+        out.backward()
+        assert np.isclose(x.grad, 8.0)
+
+    def test_reused_node_gradient(self):
+        # y = (x + x) * x = 2x^2, dy/dx = 4x
+        x = Tensor(3.0, requires_grad=True)
+        y = (x + x) * x
+        y.backward()
+        assert np.isclose(x.grad, 12.0)
+
+    def test_non_scalar_backward_requires_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.ones(2))
+        assert np.allclose(x.grad, [2.0, 2.0])
+
+    def test_backward_on_graphless_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward(np.ones(1))
+
+    def test_grad_shape_mismatch_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 1.0
+        with pytest.raises(ValueError):
+            y.backward(np.ones(3))
+
+    def test_deep_chain_does_not_recurse(self):
+        # 3000-op chain would blow the python recursion limit if
+        # backward were recursive.
+        x = Tensor(1.0, requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        assert np.isclose(x.grad, 1.0)
+
+
+class TestNoGrad:
+    def test_no_grad_disables_recording(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert y._backward is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestUnbroadcast:
+    def test_identity_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_sums_prepended_axes(self):
+        g = np.ones((4, 2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+        assert np.all(unbroadcast(g, (2, 3)) == 4.0)
+
+    def test_sums_stretched_axes(self):
+        g = np.ones((2, 5))
+        out = unbroadcast(g, (2, 1))
+        assert out.shape == (2, 1)
+        assert np.all(out == 5.0)
+
+    def test_mixed(self):
+        g = np.ones((7, 2, 5))
+        out = unbroadcast(g, (1, 5))
+        assert out.shape == (1, 5)
+        assert np.all(out == 14.0)
+
+
+class TestDtypeControl:
+    def test_set_default_dtype_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)

@@ -1,0 +1,142 @@
+"""Behavioural tests for every Table II baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.data.batching import Batch, BatchIterator
+from repro.data.dataset import SequenceDataset
+from repro.data.synthetic import SyntheticConfig, generate_interactions
+from repro.optim import Adam
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = SyntheticConfig(num_users=60, num_items=40, seed=6)
+    return SequenceDataset(generate_interactions(cfg), max_len=10)
+
+
+def make_batch(dataset, with_positive):
+    it = BatchIterator(dataset, batch_size=12, with_same_target=with_positive, seed=0)
+    return next(iter(it.epoch()))
+
+
+@pytest.mark.parametrize("name", BASELINE_NAMES)
+class TestAllModelsShareTheInterface:
+    def test_predict_scores_shape_and_finite(self, name, dataset):
+        model = build_baseline(name, dataset, hidden_dim=16, seed=0)
+        model.eval()
+        inputs, _ = dataset.eval_arrays("test")
+        scores = model.predict_scores(inputs[:5])
+        assert scores.shape == (5, dataset.vocab_size)
+        assert np.all(np.isfinite(scores))
+
+    def test_loss_backward_populates_gradients(self, name, dataset):
+        model = build_baseline(name, dataset, hidden_dim=16, seed=0)
+        batch = make_batch(dataset, with_positive=True)
+        loss = model.loss(batch)
+        assert np.isfinite(loss.data)
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert grads, f"{name}: no gradients at all"
+
+    def test_one_optimizer_step_changes_predictions(self, name, dataset):
+        model = build_baseline(name, dataset, hidden_dim=16, seed=0)
+        inputs, _ = dataset.eval_arrays("test")
+        model.eval()
+        before = model.predict_scores(inputs[:4]).copy()
+        model.train()
+        opt = Adam(model.parameters(), lr=1e-2)
+        batch = make_batch(dataset, with_positive=True)
+        opt.zero_grad()
+        model.loss(batch).backward()
+        opt.step()
+        model.eval()
+        after = model.predict_scores(inputs[:4])
+        assert not np.allclose(before, after)
+
+    def test_state_dict_round_trip(self, name, dataset):
+        a = build_baseline(name, dataset, hidden_dim=16, seed=0)
+        b = build_baseline(name, dataset, hidden_dim=16, seed=1)
+        b.load_state_dict(a.state_dict())
+        sa, sb = a.state_dict(), b.state_dict()
+        assert all(np.allclose(sa[k], sb[k]) for k in sa)
+
+
+class TestModelSpecificBehaviour:
+    def test_registry_rejects_unknown(self, dataset):
+        with pytest.raises(KeyError):
+            build_baseline("NotAModel", dataset)
+
+    def test_bprmf_is_order_invariant(self, dataset):
+        """BPR-MF must ignore sequence order (the paper's point)."""
+        model = build_baseline("BPR-MF", dataset, hidden_dim=16, seed=0)
+        model.eval()
+        inputs, _ = dataset.eval_arrays("test")
+        row = inputs[:1].copy()
+        items = row[row != 0]
+        shuffled = row.copy()
+        shuffled[0, -len(items):] = np.random.default_rng(0).permutation(items)
+        assert np.allclose(
+            model.predict_scores(row), model.predict_scores(shuffled), atol=1e-8
+        )
+
+    def test_sasrec_is_order_sensitive(self, dataset):
+        model = build_baseline("SASRec", dataset, hidden_dim=16, seed=0)
+        model.eval()
+        inputs, _ = dataset.eval_arrays("test")
+        row = inputs[:1].copy()
+        items = row[row != 0]
+        if len(items) < 3:
+            pytest.skip("sequence too short to permute")
+        shuffled = row.copy()
+        shuffled[0, -len(items):] = items[::-1]
+        assert not np.allclose(model.predict_scores(row), model.predict_scores(shuffled))
+
+    def test_bert4rec_mask_token_is_last_row(self, dataset):
+        model = build_baseline("BERT4Rec", dataset, hidden_dim=16, seed=0)
+        assert model.mask_token == dataset.num_items + 1
+        assert model.item_embedding.num_embeddings == dataset.num_items + 2
+
+    def test_bert4rec_scores_exclude_mask_token(self, dataset):
+        model = build_baseline("BERT4Rec", dataset, hidden_dim=16, seed=0)
+        inputs, _ = dataset.eval_arrays("test")
+        scores = model.predict_scores(inputs[:3])
+        assert scores.shape[1] == dataset.vocab_size  # no mask column
+
+    def test_fmlprec_uses_full_band_filters(self, dataset):
+        model = build_baseline("FMLP-Rec", dataset, hidden_dim=16, seed=0)
+        for layer in model.layers:
+            assert np.all(layer.dfs_mask == 1.0)
+            assert layer.sfs_mask is None
+
+    def test_coserec_requires_prepare_for_augmentation(self, dataset):
+        from repro.baselines.coserec import CoSeRec
+
+        model = CoSeRec(num_items=dataset.num_items, max_len=dataset.max_len, hidden_dim=16)
+        row = np.array([0, 0, 1, 2, 3, 4, 5, 6, 7, 8])
+        # Without prepare(), augmentation is the identity.
+        assert np.array_equal(model._augment_row(row), row)
+
+    def test_duorec_cl_weight_zero_reduces_to_sasrec_loss(self, dataset):
+        duo = build_baseline("DuoRec", dataset, hidden_dim=16, seed=0, cl_weight=0.0)
+        duo.eval()
+        batch = make_batch(dataset, with_positive=True)
+        rec = duo.recommendation_loss(batch.input_ids, batch.targets)
+        assert np.isclose(float(duo.loss(batch).data), float(rec.data))
+
+    def test_contrastvae_kl_positive(self, dataset):
+        model = build_baseline("ContrastVAE", dataset, hidden_dim=16, seed=0)
+        batch = make_batch(dataset, with_positive=False)
+        mu, logvar = model._posterior(batch.input_ids)
+        kl = 0.5 * (mu.data**2 + np.exp(logvar.data) - logvar.data - 1).sum(axis=1)
+        assert np.all(kl >= 0)
+
+    def test_gru4rec_hidden_depends_on_history(self, dataset):
+        model = build_baseline("GRU4Rec", dataset, hidden_dim=16, seed=0)
+        model.eval()
+        a = np.zeros((1, dataset.max_len), dtype=np.int64)
+        a[0, -1] = 1
+        b = a.copy()
+        b[0, -2] = 2  # extra history item
+        assert not np.allclose(model.predict_scores(a), model.predict_scores(b))

@@ -1,0 +1,63 @@
+"""Tests for the InfoNCE contrastive objective (Eqs. 33-35)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.tensor import Tensor
+from repro.core.contrastive import info_nce_loss
+
+
+def t(data):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class TestInfoNce:
+    def test_aligned_views_give_lower_loss_than_shuffled(self, rng):
+        a = rng.normal(size=(16, 8))
+        aligned = info_nce_loss(t(a), t(a + 0.01 * rng.normal(size=a.shape)))
+        shuffled = info_nce_loss(t(a), t(np.roll(a, 1, axis=0)))
+        assert float(aligned.data) < float(shuffled.data)
+
+    def test_perfect_alignment_loss_near_floor(self, rng):
+        a = rng.normal(size=(8, 16))
+        loss = info_nce_loss(t(a), t(a.copy()), temperature=0.05)
+        # With tiny temperature the positive dominates -> loss ~ 0.
+        assert float(loss.data) < 0.1
+
+    def test_single_row_batch_returns_zero(self, rng):
+        loss = info_nce_loss(t(rng.normal(size=(1, 4))), t(rng.normal(size=(1, 4))))
+        assert float(loss.data) == 0.0
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            info_nce_loss(t(rng.normal(size=(4, 8))), t(rng.normal(size=(3, 8))))
+
+    def test_gradients_flow_to_both_views(self, rng):
+        a, b = t(rng.normal(size=(6, 5))), t(rng.normal(size=(6, 5)))
+        info_nce_loss(a, b).backward()
+        assert a.grad is not None and not np.allclose(a.grad, 0)
+        assert b.grad is not None and not np.allclose(b.grad, 0)
+
+    def test_gradcheck(self, rng):
+        a, b = t(rng.normal(size=(4, 3))), t(rng.normal(size=(4, 3)))
+        gradcheck(lambda x, y: info_nce_loss(x, y, temperature=0.5), [a, b])
+
+    def test_scale_invariance_of_cosine(self, rng):
+        """Cosine similarity makes the loss invariant to view scaling."""
+        a = rng.normal(size=(8, 6))
+        b = rng.normal(size=(8, 6))
+        base = info_nce_loss(t(a), t(b))
+        scaled = info_nce_loss(t(a * 10.0), t(b * 0.1))
+        assert np.isclose(float(base.data), float(scaled.data), atol=1e-8)
+
+    def test_temperature_sharpens(self, rng):
+        a = rng.normal(size=(8, 6))
+        b = a + 0.1 * rng.normal(size=a.shape)
+        sharp = info_nce_loss(t(a), t(b), temperature=0.1)
+        smooth = info_nce_loss(t(a), t(b), temperature=5.0)
+        assert float(sharp.data) < float(smooth.data)
+
+    def test_loss_positive_for_random_views(self, rng):
+        a, b = t(rng.normal(size=(16, 8))), t(rng.normal(size=(16, 8)))
+        assert float(info_nce_loss(a, b).data) > 0.0

@@ -1,0 +1,80 @@
+"""Tests for the dataset diagnostic reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.reports import (
+    length_histogram,
+    popularity_report,
+    repeat_ratio,
+)
+
+
+class TestPopularityReport:
+    def test_uniform_counts_gini_near_zero(self):
+        seqs = [[i + 1] * 3 for i in range(10)]  # every item 3 times
+        report = popularity_report(seqs, num_items=10)
+        assert report.gini == pytest.approx(0.0, abs=1e-9)
+        assert report.coverage == 1.0
+
+    def test_single_dominant_item_high_gini(self):
+        seqs = [[1] * 100, [2], [3]]
+        report = popularity_report(seqs, num_items=50)
+        assert report.gini > 0.9
+        assert report.top_10pct_share > 0.9
+
+    def test_empty_dataset(self):
+        report = popularity_report([], num_items=10)
+        assert report.gini == 0.0 and report.coverage == 0.0
+
+    def test_padding_ignored(self):
+        report = popularity_report([[0, 0, 1]], num_items=5)
+        assert report.coverage == pytest.approx(0.2)
+
+    @given(
+        seqs=st.lists(
+            st.lists(st.integers(1, 20), min_size=1, max_size=15),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_property(self, seqs):
+        report = popularity_report(seqs, num_items=20)
+        assert 0.0 <= report.gini <= 1.0
+        assert 0.0 <= report.top_10pct_share <= 1.0
+        assert 0.0 <= report.coverage <= 1.0
+
+
+class TestLengthHistogram:
+    def test_buckets(self):
+        seqs = [[1] * 3, [1] * 7, [1] * 15, [1] * 200]
+        hist = length_histogram(seqs)
+        assert hist["<=5"] == 1
+        assert hist["<=10"] == 1
+        assert hist["<=20"] == 1
+        assert hist[">100"] == 1
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        seqs = [[1] * int(l) for l in rng.integers(1, 150, size=30)]
+        hist = length_histogram(seqs)
+        assert sum(hist.values()) == 30
+
+
+class TestRepeatRatio:
+    def test_no_repeats(self):
+        assert repeat_ratio([[1, 2, 3]]) == 0.0
+
+    def test_all_repeats_after_first(self):
+        assert repeat_ratio([[7, 7, 7, 7]]) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert repeat_ratio([]) == 0.0
+
+    def test_synthetic_presets_have_repeats(self):
+        """The planted periodic behaviour must produce re-consumption."""
+        from repro.data.synthetic import load_preset
+
+        ds = load_preset("beauty", scale=0.1, max_len=10)
+        assert repeat_ratio(ds.sequences) > 0.1

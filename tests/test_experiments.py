@@ -1,0 +1,86 @@
+"""Tests for the experiment harness (tiny budgets)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentBudget,
+    ascii_heatmap,
+    run_complexity_comparison,
+    run_fig7_filter_visualization,
+    run_table1_dataset_stats,
+)
+from repro.experiments.common import run_model
+
+
+@pytest.fixture(scope="module")
+def budget():
+    b = ExperimentBudget.quick()
+    b.datasets = ["beauty"]
+    b.epochs = 1
+    return b
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {"table1", "table2", "table3", "table4", "table5",
+                    "fig3", "fig4", "fig5", "fig6", "fig7", "complexity"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_budget_presets(self):
+        quick = ExperimentBudget.quick()
+        small = ExperimentBudget.small()
+        assert quick.scale < small.scale <= 1.0
+
+    def test_budget_caches_datasets(self, budget):
+        assert budget.dataset("beauty") is budget.dataset("beauty")
+
+
+class TestRunners:
+    def test_table1_stats(self, budget):
+        rows = run_table1_dataset_stats(budget)
+        assert "beauty" in rows
+        assert rows["beauty"]["users"] > 0
+        assert 0 < rows["beauty"]["sparsity"] < 1
+
+    def test_run_model_returns_metrics(self, budget):
+        metrics = run_model("FMLP-Rec", budget.dataset("beauty"), budget)
+        assert set(metrics) == {"HR@5", "HR@10", "NDCG@5", "NDCG@10"}
+        assert all(0 <= v <= 1 for v in metrics.values())
+
+    def test_run_model_accepts_overrides(self, budget):
+        metrics = run_model(
+            "SLIME4Rec", budget.dataset("beauty"), budget, alpha=0.2, slide_mode=3
+        )
+        assert all(np.isfinite(list(metrics.values())))
+
+    def test_fig7_visualization_outputs(self, budget):
+        out = run_fig7_filter_visualization(budget)
+        assert out["dfs_amplitude"].shape[0] == 4  # layers
+        assert set(np.unique(out["recaptured_by_sfs"])) <= {0, 1}
+        # SFS always covers the whole band -> recapture fills DFS gaps.
+        combined = np.clip(out["dfs_coverage"] + out["recaptured_by_sfs"], 0, 1)
+        assert combined.sum() == out["dfs_coverage"].shape[0]
+
+    def test_complexity_comparison_shape(self):
+        out = run_complexity_comparison(seq_lens=(8, 16), repeats=1)
+        assert set(out) == {"filter_mixer", "self_attention"}
+        assert set(out["filter_mixer"]) == {8, 16}
+        assert all(v > 0 for v in out["filter_mixer"].values())
+
+
+class TestAsciiHeatmap:
+    def test_contains_layers(self):
+        art = ascii_heatmap(np.random.default_rng(0).random((3, 20)), title="demo")
+        assert art.startswith("demo")
+        assert art.count("layer") == 3
+
+    def test_constant_matrix_does_not_crash(self):
+        art = ascii_heatmap(np.ones((2, 5)))
+        assert "layer 0" in art
+
+    def test_wide_matrix_downsampled(self):
+        art = ascii_heatmap(np.random.default_rng(0).random((1, 500)), width=40)
+        line = art.splitlines()[0]
+        assert len(line) < 80

@@ -1,0 +1,155 @@
+"""Tests for the frequency ramp structure geometry (Eqs. 16-25)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.filters import (
+    coverage_report,
+    dfs_windows,
+    ramp_masks,
+    sfs_windows,
+    window_mask,
+)
+
+
+class TestDfsWindows:
+    def test_alpha_one_covers_everything_every_layer(self):
+        # The paper: alpha=1 reduces to FMLP-Rec's global filter (step=0).
+        for start, end in dfs_windows(26, 4, 1.0):
+            assert (start, end) == (0, 26)
+
+    def test_layer0_at_high_end_for_arrow_left(self):
+        windows = dfs_windows(26, 4, 0.25, "high_to_low")
+        assert windows[0][1] == 26  # ends at the top bin
+        assert windows[-1][0] == 0  # final layer reaches DC
+
+    def test_low_to_high_is_reverse(self):
+        left = dfs_windows(26, 4, 0.25, "high_to_low")
+        right = dfs_windows(26, 4, 0.25, "low_to_high")
+        assert right == list(reversed(left))
+
+    def test_window_size_matches_alpha(self):
+        for start, end in dfs_windows(26, 4, 0.3):
+            assert end - start == round(0.3 * 26)
+
+    def test_single_layer_uses_topmost_window(self):
+        (window,) = dfs_windows(20, 1, 0.5, "high_to_low")
+        assert window == (10, 20)
+
+    def test_monotonic_descent(self):
+        windows = dfs_windows(51, 8, 0.2, "high_to_low")
+        starts = [s for s, _ in windows]
+        assert starts == sorted(starts, reverse=True)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            dfs_windows(10, 2, 1.5)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            dfs_windows(10, 2, 0.5, "sideways")
+
+    @given(
+        m=st.integers(2, 64),
+        layers=st.integers(1, 8),
+        alpha=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_windows_always_in_bounds(self, m, layers, alpha):
+        for start, end in dfs_windows(m, layers, alpha):
+            assert 0 <= start < end <= m
+
+
+class TestSfsWindows:
+    @given(m=st.integers(1, 100), layers=st.integers(1, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_partition_property(self, m, layers):
+        """The union of SFS bands is [0, M) with no gaps or overlaps."""
+        windows = sfs_windows(m, layers)
+        covered = np.zeros(m, dtype=int)
+        for start, end in windows:
+            covered[start:end] += 1
+        assert np.all(covered == 1)
+
+    def test_high_to_low_layer0_top_band(self):
+        windows = sfs_windows(20, 4, "high_to_low")
+        assert windows[0] == (15, 20)
+        assert windows[-1] == (0, 5)
+
+    def test_low_to_high_ascending(self):
+        windows = sfs_windows(20, 4, "low_to_high")
+        assert windows == [(0, 5), (5, 10), (10, 15), (15, 20)]
+
+    def test_band_size_is_m_over_l(self):
+        for start, end in sfs_windows(24, 4):
+            assert end - start == 6
+
+    def test_uneven_split_still_partitions(self):
+        windows = sfs_windows(10, 3)
+        total = sum(e - s for s, e in windows)
+        assert total == 10
+
+
+class TestWindowMask:
+    def test_mask_values(self):
+        mask = window_mask(6, (1, 4))
+        assert mask.tolist() == [0, 1, 1, 1, 0, 0]
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ValueError):
+            window_mask(5, (2, 7))
+
+    def test_full_window(self):
+        assert window_mask(4, (0, 4)).sum() == 4
+
+
+class TestRampMasks:
+    def test_structure(self):
+        dfs, sfs = ramp_masks(26, 4, 0.3, "high_to_low", "high_to_low")
+        assert len(dfs) == 4 and len(sfs) == 4
+        assert all(m.shape == (26,) for m in dfs + sfs)
+
+    def test_sfs_recaptures_dfs_gaps_when_alpha_below_beta(self):
+        """Paper Section III-B3: when alpha < 1/L the static split covers
+        the frequencies the dynamic windows skip over."""
+        m, layers, alpha = 40, 4, 0.1  # alpha < 1/L = 0.25
+        dfs, sfs = ramp_masks(m, layers, alpha, "high_to_low", "high_to_low")
+        dfs_union = np.clip(np.sum(dfs, axis=0), 0, 1)
+        sfs_union = np.clip(np.sum(sfs, axis=0), 0, 1)
+        assert dfs_union.sum() < m  # DFS alone leaves gaps
+        assert sfs_union.sum() == m  # SFS covers them
+        combined = np.clip(dfs_union + sfs_union, 0, 1)
+        assert combined.sum() == m
+
+    def test_coverage_report_detects_gaps_iff_alpha_below_beta(self):
+        """The Section III-B3 inequality: gaps appear exactly when the
+        dynamic window is smaller than the slide step, i.e. alpha < 1/L
+        (up to rounding at band edges)."""
+        m, layers = 80, 4
+        gappy = coverage_report(m, layers, alpha=0.1)  # 0.1 < 1/4
+        full = coverage_report(m, layers, alpha=0.5)  # 0.5 > 1/4
+        assert gappy["dfs_has_gaps"]
+        assert not full["dfs_has_gaps"]
+        assert gappy["sfs_covered"] == m  # SFS always complete
+        assert gappy["combined_covered"] == m
+
+    @given(
+        m=st.integers(8, 80),
+        layers=st.integers(2, 8),
+        alpha=st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_combined_coverage_always_complete_property(self, m, layers, alpha):
+        """DFS may skip bins, but DFS+SFS never does — the design's
+        core guarantee (Table III's rationale)."""
+        report = coverage_report(m, layers, alpha)
+        assert report["combined_covered"] == m
+
+    def test_mode4_windows_aligned_in_direction(self):
+        """In mode 4 both window sequences descend in frequency together."""
+        dfs, sfs = ramp_masks(30, 3, 0.3, "high_to_low", "high_to_low")
+        dfs_centers = [np.average(np.arange(30), weights=m) for m in dfs]
+        sfs_centers = [np.average(np.arange(30), weights=m) for m in sfs]
+        assert dfs_centers == sorted(dfs_centers, reverse=True)
+        assert sfs_centers == sorted(sfs_centers, reverse=True)

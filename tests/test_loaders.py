@@ -1,0 +1,53 @@
+"""Tests for the real-file interaction loader."""
+
+import pytest
+
+from repro.data.loaders import load_interactions_file
+
+
+class TestLoadInteractionsFile:
+    def test_three_column_format(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 10 100.0\n1 11 101.0\n2 10 50.0\n")
+        out = load_interactions_file(path)
+        assert out == [(1, 10, 100.0), (1, 11, 101.0), (2, 10, 50.0)]
+
+    def test_two_column_uses_line_number(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 10\n1 11\n")
+        out = load_interactions_file(path)
+        assert out[0][2] == 0.0 and out[1][2] == 1.0
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("# header\n\n1 10 5.0\n")
+        assert load_interactions_file(path) == [(1, 10, 5.0)]
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1,10,3.5\n")
+        assert load_interactions_file(path, delimiter=",") == [(1, 10, 3.5)]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 10 1.0\njunk\n")
+        with pytest.raises(ValueError, match="bad.txt:2"):
+            load_interactions_file(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no interactions"):
+            load_interactions_file(path)
+
+    def test_round_trip_into_dataset(self, tmp_path):
+        from repro.data.dataset import SequenceDataset
+
+        lines = []
+        for user in range(6):
+            for t, item in enumerate(range(5)):
+                lines.append(f"{user} {item} {t}")
+        path = tmp_path / "dense.txt"
+        path.write_text("\n".join(lines))
+        ds = SequenceDataset(load_interactions_file(path), max_len=5)
+        assert ds.num_users == 6 and ds.num_items == 5

@@ -1,0 +1,67 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.optim import Adam
+from repro.optim.lr_scheduler import ConstantLR, StepLR, WarmupCosineLR
+
+
+@pytest.fixture
+def optimizer():
+    param = Tensor(np.zeros(2), requires_grad=True)
+    return Adam([param], lr=0.1)
+
+
+class TestConstantLR:
+    def test_never_changes(self, optimizer):
+        sched = ConstantLR(optimizer)
+        for _ in range(10):
+            assert sched.step() == 0.1
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self, optimizer):
+        sched = StepLR(optimizer, step_size=3, gamma=0.5)
+        lrs = [sched.step() for _ in range(7)]
+        assert lrs[0] == lrs[1] == pytest.approx(0.1)
+        assert lrs[3] == pytest.approx(0.05)
+        assert lrs[6] == pytest.approx(0.025)
+
+    def test_mutates_optimizer(self, optimizer):
+        sched = StepLR(optimizer, step_size=1, gamma=0.1)
+        sched.step()
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_invalid_step_size(self, optimizer):
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+
+
+class TestWarmupCosine:
+    def test_linear_warmup(self, optimizer):
+        sched = WarmupCosineLR(optimizer, warmup_steps=4, total_steps=20)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([0.025, 0.05, 0.075, 0.1])
+
+    def test_decays_to_min(self, optimizer):
+        sched = WarmupCosineLR(optimizer, warmup_steps=2, total_steps=10, min_lr=0.01)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[-1] == pytest.approx(0.01, abs=1e-9)
+
+    def test_monotone_decay_after_warmup(self, optimizer):
+        sched = WarmupCosineLR(optimizer, warmup_steps=2, total_steps=12)
+        lrs = [sched.step() for _ in range(12)]
+        post = lrs[2:]
+        assert all(a >= b for a, b in zip(post, post[1:]))
+
+    def test_clamps_past_total(self, optimizer):
+        sched = WarmupCosineLR(optimizer, warmup_steps=1, total_steps=5, min_lr=0.0)
+        for _ in range(10):
+            lr = sched.step()
+        assert lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_totals(self, optimizer):
+        with pytest.raises(ValueError):
+            WarmupCosineLR(optimizer, warmup_steps=5, total_steps=5)

@@ -1,0 +1,101 @@
+"""Tests for the Module registration / state_dict machinery."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn import Dropout, Linear, Module, ModuleList, Parameter
+
+
+class Composite(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Linear(2, 3, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.ones(3))
+        self.drop = Dropout(0.5)
+
+    def forward(self, x):
+        return self.inner(x)
+
+
+class TestRegistration:
+    def test_named_parameters_recursive(self):
+        model = Composite()
+        names = {n for n, _ in model.named_parameters()}
+        assert names == {"inner.weight", "inner.bias", "scale"}
+
+    def test_num_parameters(self):
+        model = Composite()
+        assert model.num_parameters() == 2 * 3 + 3 + 3
+
+    def test_modules_iterates_tree(self):
+        model = Composite()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert "Composite" in kinds and "Linear" in kinds and "Dropout" in kinds
+
+
+class TestTrainEval:
+    def test_eval_propagates(self):
+        model = Composite()
+        model.eval()
+        assert not model.drop.training
+        model.train()
+        assert model.drop.training
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a = Composite()
+        b = Composite()
+        b.inner.weight.data += 1.0
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.inner.weight.data, b.inner.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = Composite()
+        state = model.state_dict()
+        state["scale"][0] = 99.0
+        assert model.scale.data[0] == 1.0
+
+    def test_missing_key_raises(self):
+        model = Composite()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = Composite()
+        state = model.state_dict()
+        state["ghost"] = np.ones(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Composite()
+        state = model.state_dict()
+        state["scale"] = np.ones(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestModuleList:
+    def test_parameters_discovered(self):
+        rng = np.random.default_rng(0)
+        lst = ModuleList([Linear(2, 2, rng=rng), Linear(2, 2, rng=rng)])
+        assert len(lst) == 2
+        assert len(list(lst)) == 2
+        assert len({n for n, _ in lst.named_parameters()}) == 4
+
+    def test_indexing(self):
+        rng = np.random.default_rng(0)
+        first = Linear(2, 2, rng=rng)
+        lst = ModuleList([first])
+        assert lst[0] is first
+
+    def test_zero_grad_clears_all(self):
+        model = Composite()
+        for p in model.parameters():
+            p.grad = np.ones_like(p.data)
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())

@@ -1,0 +1,144 @@
+"""Tests for attention, GRU and Caser convolution modules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn import GRU, HorizontalConv, MultiHeadSelfAttention, VerticalConv
+from repro.nn.attention import causal_mask
+
+
+class TestCausalMask:
+    def test_upper_triangle_blocked(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] and mask[2, 3]
+        assert not mask[1, 0] and not mask[3, 3]
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        out = attn(Tensor(rng.normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_dim_must_divide_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2, rng=rng)
+
+    def test_causality(self, rng):
+        """Changing a future item must not change earlier outputs."""
+        attn = MultiHeadSelfAttention(8, 2, causal=True, rng=np.random.default_rng(0))
+        attn.eval()
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0  # perturb the last position
+        pert = attn(Tensor(x2)).data
+        assert np.allclose(base[0, :5], pert[0, :5], atol=1e-10)
+        assert not np.allclose(base[0, 5], pert[0, 5])
+
+    def test_bidirectional_sees_future(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, causal=False, rng=np.random.default_rng(0))
+        attn.eval()
+        x = rng.normal(size=(1, 6, 8))
+        base = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        pert = attn(Tensor(x2)).data
+        assert not np.allclose(base[0, 0], pert[0, 0])
+
+    def test_key_padding_mask_blocks_positions(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, causal=False, rng=np.random.default_rng(0))
+        attn.eval()
+        x = rng.normal(size=(1, 4, 8))
+        pad = np.array([[True, False, False, False]])
+        base = attn(Tensor(x), key_padding_mask=pad).data.copy()
+        x2 = x.copy()
+        x2[0, 0] += 100.0  # padded key changes
+        pert = attn(Tensor(x2), key_padding_mask=pad).data
+        # Non-padded positions must be unaffected by the padded key.
+        assert np.allclose(base[0, 1:], pert[0, 1:], atol=1e-8)
+
+    def test_fully_padded_row_produces_finite_output(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, causal=True, rng=np.random.default_rng(0))
+        attn.eval()
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        pad = np.ones((1, 4), dtype=bool)
+        out = attn(x, key_padding_mask=pad)
+        assert np.all(np.isfinite(out.data))
+
+    def test_gradients_flow(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4, 8)), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        assert attn.query.weight.grad is not None
+
+
+class TestGRU:
+    def test_output_shape(self, rng):
+        gru = GRU(4, 6, rng=rng)
+        out = gru(Tensor(rng.normal(size=(3, 5, 4))))
+        assert out.shape == (3, 5, 6)
+
+    def test_hidden_evolves_over_time(self, rng):
+        gru = GRU(4, 6, rng=rng)
+        out = gru(Tensor(rng.normal(size=(1, 5, 4)))).data
+        assert not np.allclose(out[0, 0], out[0, 4])
+
+    def test_initial_state_used(self, rng):
+        gru = GRU(4, 6, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        h0 = Tensor(np.ones((2, 6)))
+        out_a = gru(x).data
+        out_b = gru(x, h0=h0).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_gradients_flow_through_time(self, rng):
+        gru = GRU(3, 4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        last = gru(x)
+        last.sum().backward()
+        # The first timestep's input must receive gradient through the chain.
+        assert not np.allclose(x.grad[:, 0], 0.0)
+        assert gru.w_h.grad is not None
+
+    def test_causality(self, rng):
+        gru = GRU(3, 4, rng=np.random.default_rng(0))
+        x = rng.normal(size=(1, 5, 3))
+        base = gru(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 4] += 5.0
+        pert = gru(Tensor(x2)).data
+        assert np.allclose(base[0, :4], pert[0, :4], atol=1e-12)
+
+
+class TestCaserConvs:
+    def test_horizontal_shape(self, rng):
+        conv = HorizontalConv(seq_len=8, dim=4, height=3, channels=5, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 8, 4))))
+        assert out.shape == (2, 5)
+
+    def test_horizontal_height_validation(self, rng):
+        with pytest.raises(ValueError):
+            HorizontalConv(seq_len=4, dim=4, height=5, channels=2, rng=rng)
+
+    def test_vertical_shape(self, rng):
+        conv = VerticalConv(seq_len=8, channels=3, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 8, 4))))
+        assert out.shape == (2, 12)
+
+    def test_horizontal_gradients(self, rng):
+        conv = HorizontalConv(seq_len=6, dim=3, height=2, channels=4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        conv(x).sum().backward()
+        assert x.grad is not None
+        assert conv.weight.grad is not None
+
+    def test_vertical_is_linear_in_input(self, rng):
+        conv = VerticalConv(seq_len=5, channels=2, rng=np.random.default_rng(0))
+        x1 = rng.normal(size=(1, 5, 3))
+        x2 = rng.normal(size=(1, 5, 3))
+        lhs = conv(Tensor(x1 + x2)).data
+        rhs = conv(Tensor(x1)).data + conv(Tensor(x2)).data
+        assert np.allclose(lhs, rhs, atol=1e-10)

@@ -1,0 +1,153 @@
+"""Tests for Linear, Embedding, LayerNorm, Dropout, activations, init."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.tensor import Tensor
+from repro.nn import (
+    Dropout,
+    Embedding,
+    GELU,
+    LayerNorm,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    init,
+)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 6, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        assert out.shape == (3, 6)
+
+    def test_batched_3d_input(self, rng):
+        layer = Linear(4, 6, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.shape == (2, 5, 6)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 6, bias=False, rng=rng)
+        assert layer.bias is None
+        zero_out = layer(Tensor(np.zeros((1, 4))))
+        assert np.allclose(zero_out.data, 0.0)
+
+    def test_gradients_flow_to_both_params(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_gradcheck(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+
+        def f(x_, w, b):
+            layer.weight.data = w.data
+            return layer(x_)
+
+        gradcheck(lambda x_: layer(x_), [x])
+
+
+class TestEmbedding:
+    def test_padding_row_initialized_to_zero(self, rng):
+        emb = Embedding(10, 4, padding_idx=0, rng=rng)
+        assert np.allclose(emb.weight.data[0], 0.0)
+
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_zero_padding_row_resets(self, rng):
+        emb = Embedding(10, 4, padding_idx=0, rng=rng)
+        emb.weight.data[0] = 1.0
+        emb.zero_padding_row()
+        assert np.allclose(emb.weight.data[0], 0.0)
+
+    def test_no_padding_idx_noop(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        before = emb.weight.data.copy()
+        emb.zero_padding_row()
+        assert np.allclose(emb.weight.data, before)
+
+
+class TestLayerNormModule:
+    def test_normalizes(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.normal(size=(4, 8)) * 10 + 3))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+
+    def test_affine_params_learnable(self, rng):
+        layer = LayerNorm(8)
+        out = layer(Tensor(rng.normal(size=(4, 8))))
+        out.sum().backward()
+        assert layer.gamma.grad is not None
+        assert layer.beta.grad is not None
+
+
+class TestDropoutModule:
+    def test_train_mode_zeroes_some(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 100))))
+        assert (out.data == 0).any()
+
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert layer(x) is x
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_two_instances_produce_different_masks(self):
+        a = Dropout(0.5, rng=np.random.default_rng(1))
+        b = Dropout(0.5, rng=np.random.default_rng(2))
+        x = Tensor(np.ones((50, 50)))
+        assert not np.allclose(a(x).data, b(x).data)
+
+
+class TestActivations:
+    def test_relu_clips_negative(self):
+        out = ReLU()(Tensor([-1.0, 2.0]))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_gelu_at_zero(self):
+        assert np.isclose(GELU()(Tensor([0.0])).data[0], 0.0)
+
+    def test_gelu_asymptotes(self):
+        out = GELU()(Tensor([-10.0, 10.0]))
+        assert np.isclose(out.data[0], 0.0, atol=1e-3)
+        assert np.isclose(out.data[1], 10.0, atol=1e-3)
+
+    def test_tanh_sigmoid_ranges(self, rng):
+        x = Tensor(rng.normal(size=100) * 5)
+        assert np.all(np.abs(Tanh()(x).data) <= 1.0)
+        s = Sigmoid()(x).data
+        assert np.all((s > 0) & (s < 1))
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self, rng):
+        w = init.xavier_uniform(rng, (100, 100))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal(rng, (400, 400))
+        assert abs(w.std() - np.sqrt(2.0 / 800)) < 1e-3
+
+    def test_normal_std(self, rng):
+        w = init.normal(rng, (500, 500), std=0.02)
+        assert abs(w.std() - 0.02) < 1e-3
+
+    def test_deterministic_given_seed(self):
+        a = init.xavier_uniform(np.random.default_rng(7), (3, 3))
+        b = init.xavier_uniform(np.random.default_rng(7), (3, 3))
+        assert np.allclose(a, b)

@@ -1,0 +1,116 @@
+"""Tests for Adam, SGD, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.optim import SGD, Adam, clip_grad_norm
+from repro.optim.optimizer import Optimizer
+
+
+def quadratic_loss(param):
+    """L = sum((p - 3)^2), minimized at p == 3."""
+    diff = F.sub(param, 3.0)
+    return F.sum(F.mul(diff, diff))
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-2)
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, |first update| == lr regardless of grad scale."""
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = Adam([p], lr=0.05)
+        p.grad = np.array([1234.0])
+        opt.step()
+        assert np.isclose(abs(p.data[0]), 0.05, rtol=1e-4)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Tensor(np.ones(3) * 10.0, requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(3)
+        for _ in range(50):
+            opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no grad set; must not raise or move
+        assert np.allclose(p.data, 1.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+
+class TestSGD:
+    def test_step_is_lr_times_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.5)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert np.isclose(p.data[0], 0.0)
+
+    def test_momentum_accumulates(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # v=1, p=-1
+        opt.step()  # v=1.9, p=-2.9
+        assert np.isclose(p.data[0], -2.9)
+
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+
+class TestClipGradNorm:
+    def test_reports_norm(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.ones(4)  # norm 2
+        assert np.isclose(clip_grad_norm([p], 100.0), 2.0)
+
+    def test_clips_to_max(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.ones(4) * 10  # norm 20
+        clip_grad_norm([p], 1.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_no_clip_below_threshold(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([0.1, 0.1])
+        before = p.grad.copy()
+        clip_grad_norm([p], 5.0)
+        assert np.allclose(p.grad, before)
+
+    def test_handles_missing_grads(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestOptimizerBase:
+    def test_zero_grad_clears(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.ones(2)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_base_step_not_implemented(self):
+        p = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(NotImplementedError):
+            Optimizer([p]).step()

@@ -1,0 +1,156 @@
+"""Tests for k-core filtering, sequence building, LOO split, padding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.preprocess import (
+    apply_k_core,
+    build_user_sequences,
+    leave_one_out_split,
+    pad_or_truncate,
+)
+
+
+def interactions_strategy():
+    return st.lists(
+        st.tuples(
+            st.integers(0, 15),  # user
+            st.integers(100, 120),  # item
+            st.floats(0, 100, allow_nan=False),  # ts
+        ),
+        min_size=0,
+        max_size=200,
+    )
+
+
+class TestKCore:
+    def test_keeps_dense_data(self):
+        data = [(u, i, float(t)) for u in range(6) for t, i in enumerate(range(5))]
+        assert len(apply_k_core(data, k=5)) == len(data)
+
+    def test_drops_sparse_user(self):
+        dense = [(u, i, 0.0) for u in range(5) for i in range(5)]
+        sparse = [(99, 0, 0.0)]
+        out = apply_k_core(dense + sparse, k=5)
+        assert all(u != 99 for u, _, _ in out)
+
+    def test_cascading_removal(self):
+        # item 7 only kept alive by user 9; dropping user 9 must drop item 7.
+        core = [(u, i, 0.0) for u in range(5) for i in range(5)]
+        fragile = [(9, 7, 0.0)] + [(9, i, 0.0) for i in range(4)]
+        out = apply_k_core(core + fragile, k=5)
+        assert all(i != 7 for _, i, _ in out)
+        assert all(u != 9 for u, _, _ in out)
+
+    def test_empty_input(self):
+        assert apply_k_core([], k=5) == []
+
+    @given(data=interactions_strategy(), k=st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_fixed_point_property(self, data, k):
+        """After filtering, every remaining user/item has >= k events."""
+        out = apply_k_core(data, k=k)
+        from collections import Counter
+
+        users = Counter(u for u, _, _ in out)
+        items = Counter(i for _, i, _ in out)
+        assert all(c >= k for c in users.values())
+        assert all(c >= k for c in items.values())
+
+    @given(data=interactions_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, data):
+        once = apply_k_core(data, k=3)
+        twice = apply_k_core(once, k=3)
+        assert once == twice
+
+
+class TestBuildSequences:
+    def test_chronological_order(self):
+        data = [(1, 10, 3.0), (1, 11, 1.0), (1, 12, 2.0)]
+        seqs, _, item_map = build_user_sequences(data)
+        decoded = [
+            {v: k for k, v in item_map.items()}[x] for x in seqs[0]
+        ]
+        assert decoded == [11, 12, 10]
+
+    def test_item_ids_start_at_one(self):
+        data = [(1, 500, 0.0), (1, 600, 1.0)]
+        seqs, _, item_map = build_user_sequences(data)
+        assert min(item_map.values()) == 1
+        assert 0 not in seqs[0]
+
+    def test_tie_break_by_input_order(self):
+        data = [(1, 10, 0.0), (1, 11, 0.0)]
+        seqs, _, item_map = build_user_sequences(data)
+        assert seqs[0] == [item_map[10], item_map[11]]
+
+    def test_users_contiguous(self):
+        data = [(5, 1, 0.0), (100, 2, 0.0)]
+        _, user_map, _ = build_user_sequences(data)
+        assert sorted(user_map.values()) == [0, 1]
+
+
+class TestLeaveOneOut:
+    def test_split_structure(self):
+        seqs = [[1, 2, 3, 4, 5]]
+        train, valid, test = leave_one_out_split(seqs)
+        assert train == [[1, 2, 3]]
+        assert valid == [([1, 2, 3], 4)]
+        assert test == [([1, 2, 3, 4], 5)]
+
+    def test_short_sequences_skipped(self):
+        train, valid, test = leave_one_out_split([[1, 2]])
+        assert train == [] and valid == [] and test == []
+
+    def test_min_length_three(self):
+        train, valid, test = leave_one_out_split([[1, 2, 3]])
+        assert train == [[1]]
+        assert valid == [([1], 2)]
+        assert test == [([1, 2], 3)]
+
+    @given(
+        seq=st.lists(st.integers(1, 50), min_size=3, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_leakage_property(self, seq):
+        """Test target never appears in the training subsequence slot."""
+        train, valid, test = leave_one_out_split([seq])
+        (train_seq,) = train
+        ((valid_prefix, valid_target),) = valid
+        ((test_prefix, test_target),) = test
+        assert train_seq == seq[:-2]
+        assert valid_prefix == seq[:-2] and valid_target == seq[-2]
+        assert test_prefix == seq[:-1] and test_target == seq[-1]
+
+
+class TestPadOrTruncate:
+    def test_left_padding(self):
+        out = pad_or_truncate([7, 8], 5)
+        assert out.tolist() == [0, 0, 0, 7, 8]
+
+    def test_truncation_keeps_most_recent(self):
+        out = pad_or_truncate([1, 2, 3, 4, 5], 3)
+        assert out.tolist() == [3, 4, 5]
+
+    def test_exact_length(self):
+        out = pad_or_truncate([1, 2, 3], 3)
+        assert out.tolist() == [1, 2, 3]
+
+    def test_empty_sequence(self):
+        assert pad_or_truncate([], 4).tolist() == [0, 0, 0, 0]
+
+    @given(
+        seq=st.lists(st.integers(1, 100), max_size=40),
+        max_len=st.integers(1, 20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_shape_and_suffix_property(self, seq, max_len):
+        out = pad_or_truncate(seq, max_len)
+        assert out.shape == (max_len,)
+        keep = min(len(seq), max_len)
+        if keep:
+            assert out[max_len - keep:].tolist() == seq[-keep:]
+        if keep < max_len:
+            assert np.all(out[: max_len - keep] == 0)

@@ -1,0 +1,192 @@
+"""Tests for the fused spectral-filter op — the heart of SLIME4Rec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd.gradcheck import gradcheck
+from repro.autograd.spectral import (
+    dft_matrices,
+    num_frequency_bins,
+    spectral_filter,
+    spectral_filter_reference,
+)
+from repro.autograd.tensor import Tensor
+
+
+def make_inputs(rng, batch=2, n=8, d=3):
+    m = num_frequency_bins(n)
+    x = Tensor(rng.normal(size=(batch, n, d)), requires_grad=True)
+    wr = Tensor(rng.normal(size=(m, d)), requires_grad=True)
+    wi = Tensor(rng.normal(size=(m, d)), requires_grad=True)
+    return x, wr, wi, m
+
+
+class TestBinCount:
+    def test_even(self):
+        assert num_frequency_bins(8) == 5
+
+    def test_odd(self):
+        assert num_frequency_bins(7) == 4
+
+    def test_matches_paper_formula_for_even_n(self):
+        # Paper: M = ceil(N/2) + 1; for even N this equals N//2 + 1.
+        for n in (2, 4, 8, 50, 100):
+            assert num_frequency_bins(n) == n // 2 + 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            num_frequency_bins(0)
+
+
+class TestForward:
+    def test_identity_filter_reconstructs_input(self, rng):
+        """W = 1 + 0i on all bins must be a perfect round trip."""
+        x, _, _, m = make_inputs(rng)
+        ones = Tensor(np.ones((m, 3)))
+        zeros = Tensor(np.zeros((m, 3)))
+        out = spectral_filter(x, ones, zeros, np.ones(m))
+        assert np.allclose(out.data, x.data, atol=1e-12)
+
+    def test_zero_mask_kills_everything(self, rng):
+        x, wr, wi, m = make_inputs(rng)
+        out = spectral_filter(x, wr, wi, np.zeros(m))
+        assert np.allclose(out.data, 0.0)
+
+    def test_dc_only_mask_gives_constant_over_time(self, rng):
+        x, wr, wi, m = make_inputs(rng)
+        mask = np.zeros(m)
+        mask[0] = 1.0
+        out = spectral_filter(x, wr, wi, mask)
+        # Only the DC bin survives -> output constant along time axis.
+        assert np.allclose(out.data, out.data[:, :1, :], atol=1e-10)
+
+    def test_matches_reference_even_n(self, rng):
+        x, wr, wi, m = make_inputs(rng, n=10)
+        mask = (rng.random(m) > 0.5).astype(float)
+        fast = spectral_filter(x, wr, wi, mask)
+        ref = spectral_filter_reference(x, wr, wi, mask)
+        assert np.allclose(fast.data, ref.data, atol=1e-10)
+
+    def test_matches_reference_odd_n(self, rng):
+        x, wr, wi, m = make_inputs(rng, n=9)
+        mask = np.ones(m)
+        fast = spectral_filter(x, wr, wi, mask)
+        ref = spectral_filter_reference(x, wr, wi, mask)
+        assert np.allclose(fast.data, ref.data, atol=1e-10)
+
+    def test_output_is_real_dtype(self, rng):
+        x, wr, wi, m = make_inputs(rng)
+        out = spectral_filter(x, wr, wi, np.ones(m))
+        assert out.data.dtype.kind == "f"
+
+    def test_linearity_in_input(self, rng):
+        x1, wr, wi, m = make_inputs(rng)
+        x2 = Tensor(rng.normal(size=x1.shape))
+        mask = np.ones(m)
+        lhs = spectral_filter(Tensor(x1.data + 2.0 * x2.data), wr, wi, mask)
+        a = spectral_filter(Tensor(x1.data), wr, wi, mask)
+        b = spectral_filter(x2, wr, wi, mask)
+        assert np.allclose(lhs.data, a.data + 2.0 * b.data, atol=1e-10)
+
+    def test_equals_circular_convolution(self, rng):
+        """The op must equal a time-domain circular conv with the kernel."""
+        x, wr, wi, m = make_inputs(rng, batch=1, n=8, d=1)
+        mask = np.ones(m)
+        out = spectral_filter(x, wr, wi, mask)
+        filt = (wr.data + 1j * wi.data)[:, 0]
+        kernel = np.fft.irfft(filt, n=8)
+        expected = np.real(np.fft.ifft(np.fft.fft(x.data[0, :, 0]) * np.fft.fft(kernel)))
+        assert np.allclose(out.data[0, :, 0], expected, atol=1e-10)
+
+    def test_shape_validation(self, rng):
+        x, wr, wi, m = make_inputs(rng)
+        with pytest.raises(ValueError):
+            spectral_filter(Tensor(np.zeros((2, 8))), wr, wi, np.ones(m))
+        with pytest.raises(ValueError):
+            spectral_filter(x, Tensor(np.zeros((m + 1, 3))), wi, np.ones(m))
+        with pytest.raises(ValueError):
+            spectral_filter(x, wr, wi, np.ones(m + 2))
+
+
+class TestGradients:
+    def test_gradcheck_banded_mask_even(self, rng):
+        x, wr, wi, m = make_inputs(rng, n=8)
+        mask = np.zeros(m)
+        mask[1:4] = 1.0
+        gradcheck(lambda a, b, c: spectral_filter(a, b, c, mask), [x, wr, wi])
+
+    def test_gradcheck_full_mask_odd(self, rng):
+        x, wr, wi, m = make_inputs(rng, n=7)
+        gradcheck(lambda a, b, c: spectral_filter(a, b, c, np.ones(m)), [x, wr, wi])
+
+    def test_fused_and_reference_gradients_agree(self, rng):
+        mask = None
+        x, wr, wi, m = make_inputs(rng, n=10)
+        mask = np.zeros(m)
+        mask[2:5] = 1.0
+
+        out = spectral_filter(x, wr, wi, mask)
+        out.backward(np.ones_like(out.data))
+        fused = (x.grad.copy(), wr.grad.copy(), wi.grad.copy())
+
+        x.zero_grad(), wr.zero_grad(), wi.zero_grad()
+        ref = spectral_filter_reference(x, wr, wi, mask)
+        ref.backward(np.ones_like(ref.data))
+
+        assert np.allclose(fused[0], x.grad, atol=1e-10)
+        assert np.allclose(fused[1], wr.grad, atol=1e-10)
+        assert np.allclose(fused[2], wi.grad, atol=1e-10)
+
+    def test_masked_bins_receive_no_filter_gradient(self, rng):
+        x, wr, wi, m = make_inputs(rng)
+        mask = np.zeros(m)
+        mask[2] = 1.0
+        out = spectral_filter(x, wr, wi, mask)
+        out.backward(np.ones_like(out.data))
+        outside = np.ones(m, dtype=bool)
+        outside[2] = False
+        assert np.allclose(wr.grad[outside], 0.0)
+        assert np.allclose(wi.grad[outside], 0.0)
+
+    def test_dc_imaginary_gradient_is_zero(self, rng):
+        x, wr, wi, m = make_inputs(rng, n=8)
+        out = spectral_filter(x, wr, wi, np.ones(m))
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(wi.grad[0], 0.0)
+        assert np.allclose(wi.grad[-1], 0.0)  # Nyquist for even N
+
+    @given(
+        n=st.integers(4, 12),
+        d=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_fused_matches_reference_property(self, n, d, seed):
+        r = np.random.default_rng(seed)
+        m = num_frequency_bins(n)
+        x = Tensor(r.normal(size=(2, n, d)), requires_grad=True)
+        wr = Tensor(r.normal(size=(m, d)), requires_grad=True)
+        wi = Tensor(r.normal(size=(m, d)), requires_grad=True)
+        mask = (r.random(m) > 0.3).astype(float)
+        fast = spectral_filter(x, wr, wi, mask)
+        ref = spectral_filter_reference(x, wr, wi, mask)
+        assert np.allclose(fast.data, ref.data, atol=1e-9)
+
+
+class TestDftMatrices:
+    def test_roundtrip(self, rng):
+        n = 10
+        cos_m, sin_m, icos, isin = dft_matrices(n)
+        x = rng.normal(size=n)
+        xr, xi = cos_m @ x, sin_m @ x
+        back = icos @ xr + isin @ xi
+        assert np.allclose(back, x, atol=1e-12)
+
+    def test_matches_numpy_rfft(self, rng):
+        n = 12
+        cos_m, sin_m, _, _ = dft_matrices(n)
+        x = rng.normal(size=n)
+        spec = np.fft.rfft(x)
+        assert np.allclose(cos_m @ x, spec.real, atol=1e-12)
+        assert np.allclose(sin_m @ x, spec.imag, atol=1e-12)

@@ -1,0 +1,91 @@
+"""Tests for the grid-search tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core import Slime4Rec, SlimeConfig
+from repro.data.dataset import SequenceDataset
+from repro.data.synthetic import SyntheticConfig, generate_interactions
+from repro.train import TrainConfig
+from repro.train.tuning import grid_search
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = SyntheticConfig(num_users=50, num_items=40, seed=9)
+    return SequenceDataset(generate_interactions(cfg), max_len=8)
+
+
+def factory(dataset):
+    def build(**params):
+        return Slime4Rec(
+            SlimeConfig(
+                num_items=dataset.num_items, max_len=dataset.max_len,
+                hidden_dim=16, cl_weight=0.0, seed=0, **params,
+            )
+        )
+
+    return build
+
+
+class TestGridSearch:
+    def test_explores_full_product(self, dataset):
+        result = grid_search(
+            factory(dataset),
+            dataset,
+            {"alpha": [0.3, 0.6], "num_layers": [1, 2]},
+            TrainConfig(epochs=1, batch_size=64, patience=0),
+        )
+        assert len(result.trials) == 4
+        combos = {(t["params"]["alpha"], t["params"]["num_layers"]) for t in result.trials}
+        assert combos == {(0.3, 1), (0.3, 2), (0.6, 1), (0.6, 2)}
+
+    def test_trials_sorted_by_score(self, dataset):
+        result = grid_search(
+            factory(dataset),
+            dataset,
+            {"alpha": [0.2, 0.5, 0.8]},
+            TrainConfig(epochs=1, batch_size=64, patience=0),
+        )
+        scores = [t["score"] for t in result.trials]
+        assert scores == sorted(scores, reverse=True)
+        assert result.best["score"] == scores[0]
+
+    def test_best_has_test_metrics(self, dataset):
+        result = grid_search(
+            factory(dataset),
+            dataset,
+            {"alpha": [0.4]},
+            TrainConfig(epochs=1, batch_size=64, patience=0),
+        )
+        assert "HR@5" in result.best["test_metrics"]
+
+    def test_empty_grid_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            grid_search(factory(dataset), dataset, {})
+
+    def test_summary_lists_top_trials(self, dataset):
+        result = grid_search(
+            factory(dataset),
+            dataset,
+            {"alpha": [0.3, 0.7]},
+            TrainConfig(epochs=1, batch_size=64, patience=0),
+        )
+        text = result.summary()
+        assert "2 trials" in text and "alpha=" in text
+
+    def test_monitor_override_propagates(self, dataset):
+        result = grid_search(
+            factory(dataset),
+            dataset,
+            {"alpha": [0.4]},
+            TrainConfig(epochs=1, batch_size=64, patience=0),
+            monitor="HR@5",
+        )
+        assert result.monitor == "HR@5"
+
+    def test_best_raises_when_empty(self):
+        from repro.train.tuning import GridSearchResult
+
+        with pytest.raises(ValueError):
+            GridSearchResult(monitor="HR@5").best
