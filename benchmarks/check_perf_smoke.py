@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI perf smoke check: fail fast on pathological training slowdowns.
+
+Runs a 5-step SLIME4Rec training loop plus one full-catalog evaluation
+pass on the synthetic beauty preset and exits non-zero when either
+exceeds its wall-clock budget.  The budgets are deliberately loose
+(several times the expected duration on a loaded CI worker): the goal
+is to catch order-of-magnitude regressions — an accidentally quadratic
+path, a dropped cache, a float-pow in a hot loop — not to benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_perf_smoke.py
+
+Environment overrides: ``PERF_SMOKE_TRAIN_BUDGET_S`` (default 15),
+``PERF_SMOKE_EVAL_BUDGET_S`` (default 5).  No pytest or
+pytest-benchmark dependency — plain stdlib + the repo itself.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+
+def main() -> int:
+    train_budget = float(os.environ.get("PERF_SMOKE_TRAIN_BUDGET_S", "15"))
+    eval_budget = float(os.environ.get("PERF_SMOKE_EVAL_BUDGET_S", "5"))
+
+    from repro.baselines import build_baseline
+    from repro.data.batching import BatchIterator
+    from repro.data.synthetic import load_preset
+    from repro.evaluation import Evaluator
+    from repro.optim import Adam
+
+    dataset = load_preset("beauty", scale=0.2, max_len=32)
+    model = build_baseline("SLIME4Rec", dataset, hidden_dim=64, seed=0)
+    iterator = BatchIterator(dataset, batch_size=128, with_same_target=True, seed=0)
+    batch = next(iter(iterator.epoch()))
+    optimizer = Adam(model.parameters())
+
+    def step() -> float:
+        optimizer.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    step()  # warmup outside the budget: first call pays FFT/cache setup
+    start = time.perf_counter()
+    losses = [step() for _ in range(5)]
+    train_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = Evaluator(dataset).evaluate(model, split="valid")
+    eval_elapsed = time.perf_counter() - start
+
+    ok = True
+    print(f"train: 5 steps in {train_elapsed:.2f}s (budget {train_budget:.0f}s), "
+          f"final loss {losses[-1]:.4f}")
+    if not all(l == l and l != float("inf") for l in losses):  # NaN/inf guard
+        print("FAIL: non-finite training loss", file=sys.stderr)
+        ok = False
+    if train_elapsed > train_budget:
+        print(f"FAIL: training exceeded budget ({train_elapsed:.2f}s > {train_budget:.0f}s)",
+              file=sys.stderr)
+        ok = False
+    print(f"eval: full pass in {eval_elapsed:.2f}s (budget {eval_budget:.0f}s), "
+          f"{result.as_row()}")
+    if eval_elapsed > eval_budget:
+        print(f"FAIL: evaluation exceeded budget ({eval_elapsed:.2f}s > {eval_budget:.0f}s)",
+              file=sys.stderr)
+        ok = False
+    print("perf smoke:", "OK" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,17 +14,32 @@ reproduction.  It provides:
   used throughout the test suite.
 """
 
-from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    parameter_version,
+    bump_parameter_version,
+)
 from repro.autograd import functional
-from repro.autograd.spectral import spectral_filter, spectral_filter_reference
+from repro.autograd.spectral import (
+    spectral_filter,
+    spectral_filter_mixed,
+    combined_filter,
+    spectral_filter_reference,
+)
 from repro.autograd.gradcheck import gradcheck
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "parameter_version",
+    "bump_parameter_version",
     "functional",
     "spectral_filter",
+    "spectral_filter_mixed",
+    "combined_filter",
     "spectral_filter_reference",
     "gradcheck",
 ]

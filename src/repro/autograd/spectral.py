@@ -36,6 +36,8 @@ from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
 __all__ = [
     "num_frequency_bins",
     "spectral_filter",
+    "spectral_filter_mixed",
+    "combined_filter",
     "spectral_filter_reference",
     "dft_matrices",
 ]
@@ -53,13 +55,23 @@ def num_frequency_bins(n: int) -> int:
     return n // 2 + 1
 
 
+#: Cached, read-only mirror-weight vectors keyed by sequence length —
+#: these are pure functions of ``n`` and sit on the per-layer hot path.
+_MIRROR_CACHE: dict = {}
+
+
 def _mirror_weights(n: int) -> np.ndarray:
     """Per-bin multiplicity of the half-spectrum in the full spectrum."""
+    cached = _MIRROR_CACHE.get(n)
+    if cached is not None:
+        return cached
     m = num_frequency_bins(n)
     w = np.full(m, 2.0)
     w[0] = 1.0
     if n % 2 == 0:
         w[-1] = 1.0
+    w.setflags(write=False)
+    _MIRROR_CACHE[n] = w
     return w
 
 
@@ -129,6 +141,129 @@ def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
         return gx, dw_real, dw_imag
 
     return Tensor(out, _parents=(x, w_real, w_imag), _backward=backward)
+
+
+def _as_column_mask(mask, m: int, dtype) -> np.ndarray:
+    """Normalize a 0/1 band mask to an ``(M, 1)`` array of ``dtype``."""
+    mask = np.asarray(mask, dtype=dtype)
+    if mask.ndim == 1:
+        mask = mask[:, None]
+    if mask.shape[0] != m:
+        raise ValueError(f"mask must have {m} bins, got {mask.shape[0]}")
+    return mask
+
+
+def combined_filter(
+    dfs_real, dfs_imag, dfs_mask, sfs_real, sfs_imag, sfs_mask, gamma: float
+) -> np.ndarray:
+    """The mixed complex filter ``(1-γ)·mask_D·W_D + γ·mask_S·W_S``.
+
+    By linearity of the DFT, mixing the two filtered spectra (Eqs.
+    26-27) equals filtering once with this combined mask — which is what
+    lets :func:`spectral_filter_mixed` run the whole mixer block on a
+    single FFT pair.  Returns a plain complex ``(M, d)`` array; callers
+    on the training hot path cache it per layer (it only changes when
+    the parameters do, i.e. once per optimizer step, while the model
+    encodes every batch three times under the contrastive objective).
+    """
+    dfs_real, dfs_imag = as_tensor(dfs_real), as_tensor(dfs_imag)
+    sfs_real, sfs_imag = as_tensor(sfs_real), as_tensor(sfs_imag)
+    m = dfs_real.shape[0]
+    dfs_mask = _as_column_mask(dfs_mask, m, dfs_real.dtype)
+    sfs_mask = _as_column_mask(sfs_mask, m, sfs_real.dtype)
+    return (1.0 - gamma) * dfs_mask * (dfs_real.data + 1j * dfs_imag.data) + gamma * sfs_mask * (
+        sfs_real.data + 1j * sfs_imag.data
+    )
+
+
+def spectral_filter_mixed(
+    x,
+    dfs_real,
+    dfs_imag,
+    dfs_mask,
+    sfs_real,
+    sfs_imag,
+    sfs_mask,
+    gamma: float,
+    filt: np.ndarray | None = None,
+) -> Tensor:
+    """Fused DFS + SFS filter mixing on a single FFT pair (Eqs. 21-27).
+
+    Semantically identical to::
+
+        (1 - gamma) * spectral_filter(x, dfs_real, dfs_imag, dfs_mask)
+            + gamma * spectral_filter(x, sfs_real, sfs_imag, sfs_mask)
+
+    but runs one ``rfft``/``irfft`` pair forward (instead of two of
+    each) and one pair backward, applying the precombined complex
+    filter in the frequency domain.  The backward pass reuses the
+    shared spectrum product for both branches::
+
+        dx   = irfft(rfft(g) * conj(filt))
+        base = mirror/N * Σ_batch conj(X) · rfft(g)
+        dW_D = (1-γ) · mask_D · base      dW_S = γ · mask_S · base
+
+    Parameters mirror :func:`spectral_filter`, doubled per branch;
+    ``filt`` optionally injects a cached :func:`combined_filter` result
+    so repeated encodes of one training step skip recombination.
+    """
+    x = as_tensor(x)
+    dfs_real, dfs_imag = as_tensor(dfs_real), as_tensor(dfs_imag)
+    sfs_real, sfs_imag = as_tensor(sfs_real), as_tensor(sfs_imag)
+    if x.ndim != 3:
+        raise ValueError(f"x must be (B, N, d), got shape {x.shape}")
+    n = x.shape[1]
+    m = num_frequency_bins(n)
+    for name, w in (
+        ("dfs_real", dfs_real),
+        ("dfs_imag", dfs_imag),
+        ("sfs_real", sfs_real),
+        ("sfs_imag", sfs_imag),
+    ):
+        if w.shape != dfs_real.shape:
+            raise ValueError(f"{name} shape {w.shape} differs from dfs_real {dfs_real.shape}")
+    if dfs_real.shape[0] != m:
+        raise ValueError(
+            f"filters have {dfs_real.shape[0]} bins but sequence length {n} needs {m}"
+        )
+    dfs_mask = _as_column_mask(dfs_mask, m, x.dtype)
+    sfs_mask = _as_column_mask(sfs_mask, m, x.dtype)
+    if filt is None:
+        filt = combined_filter(dfs_real, dfs_imag, dfs_mask, sfs_real, sfs_imag, sfs_mask, gamma)
+    elif filt.shape != dfs_real.shape:
+        raise ValueError(f"cached filter shape {filt.shape} does not match {dfs_real.shape}")
+
+    spectrum = np.fft.rfft(x.data, axis=1)  # (B, M, d) complex
+    out = np.fft.irfft(spectrum * filt, n=n, axis=1).astype(x.dtype, copy=False)
+
+    params = (dfs_real, dfs_imag, sfs_real, sfs_imag)
+    if not (
+        is_grad_enabled()
+        and any(t.requires_grad or t._backward is not None for t in (x,) + params)
+    ):
+        return Tensor(out)
+
+    mirror = _mirror_weights(n)[:, None]  # (M, 1)
+
+    def backward(grad):
+        grad_spec = np.fft.rfft(grad, axis=1)  # (B, M, d)
+        gx = np.fft.irfft(grad_spec * np.conj(filt), n=n, axis=1).astype(x.dtype, copy=False)
+        # One batch-summed spectrum product serves both branches.
+        base = (np.conj(spectrum) * grad_spec).sum(axis=0) * (mirror / n)
+        grads = [gx]
+        for weight, mask in ((1.0 - gamma, dfs_mask), (gamma, sfs_mask)):
+            dw = base * (weight * mask)
+            dw_real = dw.real.astype(x.dtype, copy=False)
+            dw_imag = dw.imag.astype(x.dtype, copy=False)
+            # DC (and Nyquist for even N) imaginary parts do not affect
+            # the real output; zero their gradients explicitly.
+            dw_imag[0] = 0.0
+            if n % 2 == 0:
+                dw_imag[-1] = 0.0
+            grads.extend((dw_real, dw_imag))
+        return tuple(grads)
+
+    return Tensor(out, _parents=(x,) + params, _backward=backward)
 
 
 def dft_matrices(n: int, dtype=np.float64) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

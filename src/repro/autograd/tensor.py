@@ -20,11 +20,38 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "as_tensor",
+    "parameter_version",
+    "bump_parameter_version",
+]
 
 _DEFAULT_DTYPE = np.float32
 
 _grad_state = threading.local()
+
+#: Monotonic counter bumped whenever parameter payloads are mutated in
+#: place (optimizer steps, checkpoint restores).  Consumers that cache
+#: values derived from parameter data — e.g. the combined complex
+#: filter of a :class:`~repro.core.filter_mixer.FilterMixerLayer` —
+#: key their caches on this counter to stay coherent.
+_parameter_version = 0
+
+
+def parameter_version() -> int:
+    """Current parameter-mutation epoch (see :func:`bump_parameter_version`)."""
+    return _parameter_version
+
+
+def bump_parameter_version() -> int:
+    """Invalidate parameter-derived caches after an in-place update."""
+    global _parameter_version
+    _parameter_version += 1
+    return _parameter_version
 
 
 def is_grad_enabled() -> bool:
@@ -89,7 +116,15 @@ class Tensor:
         Whether gradients should be accumulated into this tensor.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "_grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_grad_owned",
+    )
 
     def __init__(
         self,
@@ -110,7 +145,8 @@ class Tensor:
         if requires_grad and data.dtype.kind != "f":
             raise TypeError("only floating tensors can require gradients")
         self.data = data
-        self.grad: Optional[np.ndarray] = None
+        self._grad: Optional[np.ndarray] = None
+        self._grad_owned = False
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._parents = _parents
         self._backward = _backward
@@ -119,6 +155,17 @@ class Tensor:
     # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        return self._grad
+
+    @grad.setter
+    def grad(self, value: Optional[np.ndarray]) -> None:
+        # Externally assigned buffers may be shared with the caller, so
+        # in-place accumulation must not touch them (see _accumulate_grad).
+        self._grad = value
+        self._grad_owned = False
+
     @property
     def shape(self) -> Tuple[int, ...]:
         return self.data.shape
@@ -148,25 +195,48 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a 1-element tensor, got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a view of this tensor cut off from the autograd graph."""
         return Tensor(self.data, requires_grad=False)
 
     def zero_grad(self) -> None:
-        self.grad = None
+        self._grad = None
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Autograd machinery
     # ------------------------------------------------------------------
     def _accumulate_grad(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad``, in place when safe.
+
+        Buffer ownership tracking: ``_grad_owned`` is True only when
+        ``self.grad`` is an array this tensor allocated itself (a copy
+        or the result of a ``+``).  Owned buffers are updated with
+        ``+=``; borrowed buffers (references handed out by backward
+        closures, which may be shared with sibling tensors or graph
+        internals) are never mutated — accumulation into them allocates
+        once and takes ownership of the result.
+        """
         if grad.dtype != self.data.dtype:
             grad = grad.astype(self.data.dtype, copy=False)
-        if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None or grad is self.data else grad
+        if self._grad is None:
+            if grad.base is not None or grad is self.data:
+                self._grad = grad.copy()
+                self._grad_owned = True
+            else:
+                self._grad = grad
+                self._grad_owned = False
+        elif self._grad_owned and self._grad.shape == grad.shape:
+            self._grad += grad
         else:
-            self.grad = self.grad + grad
+            self._grad = self._grad + grad
+            self._grad_owned = True
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
@@ -199,11 +269,19 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
+        # In-flight gradient buffers.  ``owned`` holds the ids of nodes
+        # whose dict buffer was allocated by this loop (via ``+``) and is
+        # therefore safe to update in place; first contributions are
+        # borrowed references from backward closures and must not be
+        # mutated, because closures may hand the same array to several
+        # parents (e.g. ``add`` returns its incoming grad twice).
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = set()
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
+            owned.discard(id(node))
             if node.requires_grad:
                 node._accumulate_grad(node_grad)
             if node._backward is None:
@@ -216,8 +294,23 @@ class Tensor:
                     continue
                 if not (parent.requires_grad or parent._backward is not None):
                     continue
-                existing = grads.get(id(parent))
-                grads[id(parent)] = pgrad if existing is None else existing + pgrad
+                pid = id(parent)
+                existing = grads.get(pid)
+                if existing is None:
+                    grads[pid] = pgrad
+                elif (
+                    pid in owned
+                    # 0-d arithmetic returns immutable numpy scalars, for
+                    # which ``+=`` would rebind the local and silently
+                    # drop the contribution — only true ndarrays qualify.
+                    and type(existing) is np.ndarray
+                    and existing.shape == pgrad.shape
+                    and existing.dtype == np.result_type(existing.dtype, pgrad.dtype)
+                ):
+                    existing += pgrad
+                else:
+                    grads[pid] = existing + pgrad
+                    owned.add(pid)
 
     # ------------------------------------------------------------------
     # Operator sugar (implementations live in functional.py)

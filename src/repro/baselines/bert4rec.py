@@ -85,12 +85,14 @@ class BERT4Rec(SequentialEncoderBase):
         logits = F.matmul(states, table)  # (B, N, V+1)
         return F.cross_entropy(logits, labels, ignore_index=_IGNORE)
 
-    def predict_scores(self, input_ids: np.ndarray) -> np.ndarray:
+    def predict_scores(self, input_ids: np.ndarray, context: np.ndarray | None = None) -> np.ndarray:
         """Append [mask] at the end and rank by its hidden state."""
         inputs = np.asarray(input_ids, dtype=np.int64)
         shifted = np.roll(inputs, -1, axis=1)
         shifted[:, -1] = self.mask_token
         states = self.encode_states(shifted)
         user = F.getitem(states, (slice(None), -1))
+        if context is not None:
+            return user.data @ context
         table = F.transpose(self._score_table(), (1, 0))
         return F.matmul(user, table).data

@@ -67,8 +67,10 @@ class ContrastVAE(SASRec):
         return F.add(mu, F.mul(std, eps))
 
     # ------------------------------------------------------------------
-    def predict_scores(self, input_ids: np.ndarray) -> np.ndarray:
+    def predict_scores(self, input_ids: np.ndarray, context: np.ndarray | None = None) -> np.ndarray:
         mu, _ = self._posterior(input_ids)  # mean latent at inference
+        if context is not None:
+            return mu.data @ context
         table = F.transpose(self._score_table(), (1, 0))
         return F.matmul(mu, table).data
 

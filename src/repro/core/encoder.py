@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import functional as F
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, no_grad
 from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, Module
 
 __all__ = ["SequentialEncoderBase", "PointwiseFeedForward"]
@@ -135,8 +135,27 @@ class SequentialEncoderBase(Module):
             return weight
         return F.getitem(weight, slice(0, self.num_items + 1))
 
-    def predict_scores(self, input_ids: np.ndarray) -> np.ndarray:
-        """Numpy scores for evaluation (no graph)."""
+    def score_context(self) -> np.ndarray:
+        """Precomputed scoring state shared by one evaluation pass.
+
+        Returns the transposed item table ``(d, V+1)`` as a contiguous
+        array so the evaluator materializes it once per pass instead of
+        re-deriving it (slice + transpose + graph wrapping) per batch.
+        The context snapshots current weights; recompute it after any
+        parameter update.
+        """
+        with no_grad():
+            table = self._score_table().data
+        return np.ascontiguousarray(table.T)
+
+    def predict_scores(self, input_ids: np.ndarray, context: np.ndarray | None = None) -> np.ndarray:
+        """Numpy scores for evaluation (no graph).
+
+        ``context`` is an optional :meth:`score_context` result; when
+        given, scoring is a single GEMM against the cached table.
+        """
+        if context is not None:
+            return self.user_representation(input_ids).data @ context
         return self.logits(input_ids).data
 
     def recommendation_loss(self, input_ids: np.ndarray, targets: np.ndarray) -> Tensor:

@@ -20,8 +20,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import functional as F
-from repro.autograd.spectral import num_frequency_bins, spectral_filter
-from repro.autograd.tensor import Tensor
+from repro.autograd.spectral import (
+    combined_filter,
+    num_frequency_bins,
+    spectral_filter,
+    spectral_filter_mixed,
+)
+from repro.autograd.tensor import Tensor, parameter_version
 from repro.core.encoder import PointwiseFeedForward
 from repro.nn import Dropout, LayerNorm, Module, Parameter
 
@@ -83,6 +88,9 @@ class FilterMixerLayer(Module):
         self.ffn = PointwiseFeedForward(hidden_dim, rng=rng)
         self.ffn_norm = LayerNorm(hidden_dim)
         self.ffn_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
+        # (cache key, combined complex filter) for the fused path; see
+        # _combined_filter for the invalidation contract.
+        self._filt_cache = None
 
     @staticmethod
     def _check_mask(mask: np.ndarray, m: int) -> np.ndarray:
@@ -92,22 +100,61 @@ class FilterMixerLayer(Module):
         return mask
 
     # ------------------------------------------------------------------
+    def _combined_filter(self) -> np.ndarray:
+        """Cached ``(1-γ)·mask_D·W_D + γ·mask_S·W_S`` for the fused op.
+
+        The cache key couples the global parameter-mutation epoch (bumped
+        by optimizer steps and checkpoint restores) with the identity of
+        the parameter payloads (held as strong references, so a freed
+        buffer's address can never be mistaken for a live one), so the
+        combined filter is rebuilt exactly once per parameter update even
+        though the contrastive objective encodes every batch three times.
+        Call :meth:`invalidate_filter_cache` after mutating filter
+        parameter ``.data`` in place by hand.
+        """
+        payloads = (
+            self.dfs_real.data,
+            self.dfs_imag.data,
+            self.sfs_real.data,
+            self.sfs_imag.data,
+        )
+        cached = self._filt_cache
+        if (
+            cached is not None
+            and cached[0] == (parameter_version(), self.gamma)
+            and all(a is b for a, b in zip(cached[1], payloads))
+        ):
+            return cached[2]
+        filt = combined_filter(
+            self.dfs_real, self.dfs_imag, self.dfs_mask,
+            self.sfs_real, self.sfs_imag, self.sfs_mask,
+            self.gamma,
+        )
+        self._filt_cache = ((parameter_version(), self.gamma), payloads, filt)
+        return filt
+
+    def invalidate_filter_cache(self) -> None:
+        """Drop the cached combined filter (after manual weight edits)."""
+        self._filt_cache = None
+
     def mix_spectra(self, x: Tensor) -> Tensor:
-        """Eqs. 21 + 25 + 26-27: filter, mix, return time-domain signal."""
-        branches = []
-        if self.dfs_mask is not None:
-            branches.append(
-                ("dfs", spectral_filter(x, self.dfs_real, self.dfs_imag, self.dfs_mask))
-            )
-        if self.sfs_mask is not None:
-            branches.append(
-                ("sfs", spectral_filter(x, self.sfs_real, self.sfs_imag, self.sfs_mask))
-            )
-        if len(branches) == 1:
-            return branches[0][1]
-        dfs_out = branches[0][1]
-        sfs_out = branches[1][1]
-        return F.add(F.mul(dfs_out, 1.0 - self.gamma), F.mul(sfs_out, self.gamma))
+        """Eqs. 21 + 25 + 26-27: filter, mix, return time-domain signal.
+
+        Both branches active -> the fused single-FFT-pair op; single
+        branch (ablations w/oD and w/oS) -> the original per-branch
+        :func:`spectral_filter`, byte-for-byte the seed behaviour.
+        """
+        if self.dfs_mask is None:
+            return spectral_filter(x, self.sfs_real, self.sfs_imag, self.sfs_mask)
+        if self.sfs_mask is None:
+            return spectral_filter(x, self.dfs_real, self.dfs_imag, self.dfs_mask)
+        return spectral_filter_mixed(
+            x,
+            self.dfs_real, self.dfs_imag, self.dfs_mask,
+            self.sfs_real, self.sfs_imag, self.sfs_mask,
+            self.gamma,
+            filt=self._combined_filter(),
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         filtered = self.mix_spectra(x)

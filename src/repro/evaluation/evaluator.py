@@ -31,28 +31,55 @@ class Evaluator:
     """Ranks the full catalog for every evaluation user.
 
     Models must expose ``predict_scores(input_ids) -> np.ndarray`` of
-    shape ``(B, vocab_size)``; scores for the padding column (item 0)
-    are masked to ``-inf`` before ranking.  Items already present in a
+    shape ``(B, vocab_size)``; the padding column (item 0) is excluded
+    from the candidate set during ranking.  Items already present in a
     user's history are *not* masked, matching the paper's protocol of
     ranking over the whole item set.
+
+    Models additionally exposing ``score_context()`` (all
+    :class:`~repro.core.encoder.SequentialEncoderBase` subclasses do)
+    get their item table materialized once per evaluation pass and
+    passed back via ``predict_scores(chunk, context=...)`` instead of
+    being rebuilt per batch.
+
+    Scores are ranked in whatever float dtype the model produced — no
+    widening copy to float64 — and the model's score buffer is never
+    written to, so models may return views of shared or cached state.
     """
 
-    def __init__(self, dataset: SequenceDataset, ks: Sequence[int] = (5, 10), batch_size: int = 512) -> None:
+    def __init__(
+        self,
+        dataset: SequenceDataset,
+        ks: Sequence[int] = (5, 10),
+        batch_size: int = 512,
+        rank_chunk_size: int = 256,
+    ) -> None:
         self.dataset = dataset
         self.ks = tuple(ks)
         self.batch_size = batch_size
+        self.rank_chunk_size = rank_chunk_size
 
     def ranks(self, model, split: str = "test") -> np.ndarray:
         inputs, targets = self.dataset.eval_arrays(split)
         all_ranks = []
         model.eval()
         with no_grad():
+            context = model.score_context() if hasattr(model, "score_context") else None
             for start in range(0, inputs.shape[0], self.batch_size):
                 chunk = inputs[start : start + self.batch_size]
                 chunk_targets = targets[start : start + self.batch_size]
-                scores = np.asarray(model.predict_scores(chunk), dtype=np.float64)
-                scores[:, 0] = -np.inf  # never recommend the padding id
-                all_ranks.append(rank_of_target(scores, chunk_targets))
+                if context is not None:
+                    scores = np.asarray(model.predict_scores(chunk, context=context))
+                else:
+                    scores = np.asarray(model.predict_scores(chunk))
+                all_ranks.append(
+                    rank_of_target(
+                        scores,
+                        chunk_targets,
+                        exclude_padding=True,
+                        chunk_size=self.rank_chunk_size,
+                    )
+                )
         return np.concatenate(all_ranks)
 
     def evaluate(self, model, split: str = "test") -> EvalResult:

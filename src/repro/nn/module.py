@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, bump_parameter_version
 
 __all__ = ["Parameter", "Module", "ModuleList"]
 
@@ -101,6 +101,9 @@ class Module:
                     f"shape mismatch for '{name}': expected {param.shape}, got {value.shape}"
                 )
             param.data = value.astype(param.dtype, copy=True)
+        # Restored payloads invalidate parameter-derived caches (e.g.
+        # the filter mixer's combined complex filter).
+        bump_parameter_version()
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, bump_parameter_version
 from repro.optim.optimizer import Optimizer
 
 __all__ = ["Adam"]
@@ -17,6 +18,15 @@ class Adam(Optimizer):
 
     Parameters mirror the common PyTorch defaults; the paper uses
     ``lr=0.001`` and default betas.
+
+    The update runs fully in place: ``p.data``, the moment buffers and a
+    per-parameter scratch buffer are reused across steps, and the bias
+    corrections are folded into the step size (``lr·√bias2/bias1``) and
+    the epsilon (``eps·√bias2``), so a step allocates nothing.  The
+    folded form is algebraically identical to the textbook
+    ``lr·m̂/(√v̂+eps)`` update::
+
+        lr·(m/bias1) / (√(v/bias2)+eps) = (lr·√bias2/bias1) · m/(√v+eps·√bias2)
     """
 
     def __init__(
@@ -35,23 +45,38 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        self._scratch = [np.empty_like(p.data) for p in self.params]
+        self._decayed = (
+            [np.empty_like(p.data) for p in self.params] if weight_decay else None
+        )
 
     def step(self) -> None:
         self._step += 1
-        bias1 = 1.0 - self.beta1 ** self._step
-        bias2 = 1.0 - self.beta2 ** self._step
+        sqrt_bias2 = math.sqrt(1.0 - self.beta2 ** self._step)
+        step_size = self.lr * sqrt_bias2 / (1.0 - self.beta1 ** self._step)
+        folded_eps = self.eps * sqrt_bias2
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
             grad = p.grad
+            s = self._scratch[i]
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                decayed = self._decayed[i]
+                np.multiply(p.data, self.weight_decay, out=decayed)
+                decayed += grad
+                grad = decayed
             m = self._m[i]
             v = self._v[i]
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s)
+            m += s
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=s)
+            s *= 1.0 - self.beta2
+            v += s
+            np.sqrt(v, out=s)
+            s += folded_eps
+            np.divide(m, s, out=s)
+            s *= step_size
+            p.data -= s
+        bump_parameter_version()

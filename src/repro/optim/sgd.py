@@ -6,13 +6,19 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, bump_parameter_version
 from repro.optim.optimizer import Optimizer
 
 __all__ = ["SGD"]
 
 
 class SGD(Optimizer):
+    """SGD updating ``p.data`` (and the velocity buffers) fully in place.
+
+    A preallocated per-parameter scratch buffer absorbs the weight-decay
+    and learning-rate scalings, so a step allocates nothing.
+    """
+
     def __init__(
         self,
         params: Iterable[Tensor],
@@ -25,17 +31,26 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.params] if momentum else None
+        self._scratch = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         for i, p in enumerate(self.params):
             if p.grad is None:
                 continue
             grad = p.grad
+            s = self._scratch[i]
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=s)
+                s += grad
+                grad = s
             if self._velocity is not None:
                 vel = self._velocity[i]
                 vel *= self.momentum
                 vel += grad
                 grad = vel
-            p.data = p.data - self.lr * grad
+            if grad is s:
+                s *= self.lr
+            else:
+                np.multiply(grad, self.lr, out=s)
+            p.data -= s
+        bump_parameter_version()

@@ -314,6 +314,15 @@ class TestEmbeddingDropoutNorm:
             [rand(rng, 3, 6), t(rng.uniform(0.5, 1.5, 6)), rand(rng, 6)],
         )
 
+    def test_layer_norm_gradcheck_1d_input(self, rng):
+        # Regression: with no batch axes, grad and gamma share a shape
+        # and the in-place backward must not alias its scratch buffer
+        # into the returned gamma gradient.
+        gradcheck(
+            lambda a, g, b: F.layer_norm(a, g, b),
+            [rand(rng, 6), t(rng.uniform(0.5, 1.5, 6)), rand(rng, 6)],
+        )
+
     def test_l2_normalize_unit_norm(self, rng):
         out = F.l2_normalize(rand(rng, 5, 7), axis=-1)
         assert np.allclose(np.linalg.norm(out.data, axis=-1), 1.0)

@@ -141,3 +141,78 @@ class TestDtypeControl:
     def test_set_default_dtype_rejects_non_float(self):
         with pytest.raises(ValueError):
             set_default_dtype(np.int32)
+
+
+class TestItem:
+    def test_scalar_tensor(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_single_element_array(self):
+        assert Tensor(np.array([[2.0]])).item() == 2.0
+
+    def test_non_scalar_raises_clear_valueerror(self):
+        with pytest.raises(ValueError, match=r"1-element tensor.*\(2, 3\)"):
+            Tensor(np.zeros((2, 3))).item()
+
+    def test_empty_tensor_raises(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((0,))).item()
+
+
+class TestInPlaceAccumulationSafety:
+    """Regressions for the buffer-ownership rewrite of backward()."""
+
+    def test_sibling_grads_do_not_share_buffers_after_accumulation(self):
+        # add's backward hands the *same* grad array to both parents;
+        # accumulating into one leaf must never corrupt the other.
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = Tensor(np.ones(3), requires_grad=True)
+        z = F.add(x, y)
+        F.sum(F.add(z, x)).backward()  # x gets two contributions, y one
+        assert np.allclose(x.grad, 2.0)
+        assert np.allclose(y.grad, 1.0)
+
+    def test_repeated_backward_does_not_mutate_sibling(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = Tensor(np.ones(3), requires_grad=True)
+        out = F.sum(F.add(x, y))
+        out.backward()
+        first_y = y.grad.copy()
+        out.backward()  # accumulate a second pass
+        assert np.allclose(y.grad, 2.0 * first_y)
+        assert np.allclose(x.grad, y.grad)
+
+    def test_scalar_graph_accumulation(self):
+        # 0-d arithmetic yields immutable numpy scalars; the in-place
+        # fast path must fall back to allocation for them.
+        x = Tensor(3.0, requires_grad=True)
+        y = (x + x) * x  # dy/dx = 4x = 12, three contributions to x
+        y.backward()
+        assert np.isclose(x.grad, 12.0)
+
+    def test_many_contributions_accumulate_in_place(self):
+        x = Tensor(np.ones(4), requires_grad=True)
+        total = F.add(F.add(x, x), F.add(x, x))
+        F.sum(total).backward()
+        assert np.allclose(x.grad, 4.0)
+
+    def test_externally_assigned_grad_buffer_never_mutated(self):
+        # Assigning .grad resets ownership: a later backward pass must
+        # accumulate into a fresh array, not the caller's buffer.
+        x = Tensor(np.ones(3), requires_grad=True)
+        out = F.sum(F.mul(x, 2.0))
+        out.backward()
+        out.backward()  # makes x's grad buffer owned
+        external = np.zeros(3)
+        x.grad = external
+        out.backward()
+        assert np.allclose(external, 0.0)  # untouched
+        assert np.allclose(x.grad, 2.0)
+
+    def test_zero_grad_resets_ownership(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        F.sum(F.mul(x, 2.0)).backward()
+        x.zero_grad()
+        assert x.grad is None
+        F.sum(F.mul(x, 3.0)).backward()
+        assert np.allclose(x.grad, 3.0)

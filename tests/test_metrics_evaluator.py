@@ -108,7 +108,66 @@ def dataset():
     return SequenceDataset(generate_interactions(cfg), max_len=8)
 
 
+class TestRankOfTargetPaddingAndChunks:
+    def test_exclude_padding_equals_neg_inf_masking(self):
+        rng = np.random.default_rng(3)
+        scores = rng.normal(size=(16, 12))
+        targets = rng.integers(1, 12, size=16)
+        masked = scores.copy()
+        masked[:, 0] = -np.inf
+        assert np.array_equal(
+            rank_of_target(scores, targets, exclude_padding=True),
+            rank_of_target(masked, targets),
+        )
+
+    def test_exclude_padding_rejects_padding_targets(self):
+        with pytest.raises(ValueError):
+            rank_of_target(np.zeros((2, 5)), np.array([0, 3]), exclude_padding=True)
+
+    def test_exclude_padding_does_not_write_scores(self):
+        scores = np.full((4, 6), 0.5)
+        scores[:, 0] = 99.0  # padding would win without exclusion
+        before = scores.copy()
+        rank_of_target(scores, np.array([1, 2, 3, 4]), exclude_padding=True)
+        assert np.array_equal(scores, before)
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 100])
+    def test_chunked_ranks_identical(self, chunk_size):
+        rng = np.random.default_rng(5)
+        scores = rng.normal(size=(17, 9))
+        targets = rng.integers(0, 9, size=17)
+        assert np.array_equal(
+            rank_of_target(scores, targets, chunk_size=chunk_size),
+            rank_of_target(scores, targets),
+        )
+
+
+class _SharedBufferModel(_OracleModel):
+    """Returns the same cached score buffer on every call.
+
+    Models that cache or memoize their scores hand the evaluator a view
+    of shared state; the evaluator must treat it as read-only.
+    """
+
+    def __init__(self, dataset, split):
+        super().__init__(dataset, split)
+        self._buffer = None
+
+    def predict_scores(self, input_ids):
+        scores = super().predict_scores(input_ids)
+        scores[:, 0] = 100.0  # shared state that must survive evaluation
+        self._buffer = scores
+        return self._buffer
+
+
 class TestEvaluator:
+    def test_shared_score_buffer_not_corrupted(self, dataset):
+        """Regression: ranks() used to write -inf into the model's buffer."""
+        model = _SharedBufferModel(dataset, "test")
+        result = Evaluator(dataset, ks=(1,)).evaluate(model, split="test")
+        assert result["HR@1"] == 1.0  # padding still excluded from ranking
+        assert np.allclose(model._buffer[:, 0], 100.0)  # buffer untouched
+        assert np.all(np.isfinite(model._buffer))
     def test_oracle_scores_perfectly(self, dataset):
         ev = Evaluator(dataset, ks=(5, 10))
         result = ev.evaluate(_OracleModel(dataset, "test"), split="test")

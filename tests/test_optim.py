@@ -52,6 +52,68 @@ class TestAdam:
             Adam([])
 
 
+class ReferenceAdam:
+    """Straightforward textbook Adam, allocating freely every step."""
+
+    def __init__(self, shapes, lr, betas=(0.9, 0.999), eps=1e-8, weight_decay=0.0):
+        self.lr, self.eps, self.weight_decay = lr, eps, weight_decay
+        self.beta1, self.beta2 = betas
+        self.m = [np.zeros(s) for s in shapes]
+        self.v = [np.zeros(s) for s in shapes]
+        self.t = 0
+
+    def step(self, params, grads):
+        self.t += 1
+        out = []
+        for i, (p, g) in enumerate(zip(params, grads)):
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g
+            m_hat = self.m[i] / (1.0 - self.beta1 ** self.t)
+            v_hat = self.v[i] / (1.0 - self.beta2 ** self.t)
+            out.append(p - self.lr * m_hat / (np.sqrt(v_hat) + self.eps))
+        return out
+
+
+class TestAdamMatchesReference:
+    """The in-place/fused rewrite must track the textbook update exactly."""
+
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    def test_ten_steps_step_for_step(self, weight_decay):
+        rng = np.random.default_rng(7)
+        shapes = [(4, 3), (5,), ()]
+        params = [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+        reference = [p.data.copy() for p in params]
+        opt = Adam(params, lr=0.05, weight_decay=weight_decay)
+        ref_opt = ReferenceAdam(shapes, lr=0.05, weight_decay=weight_decay)
+        for _ in range(10):
+            grads = [rng.normal(size=s) for s in shapes]
+            for p, g in zip(params, grads):
+                p.grad = np.asarray(g)
+            opt.step()
+            reference = ref_opt.step(reference, grads)
+            for p, r in zip(params, reference):
+                np.testing.assert_allclose(p.data, r, rtol=1e-10, atol=1e-12)
+
+    def test_step_updates_param_buffer_in_place(self):
+        p = Tensor(np.ones(4), requires_grad=True)
+        buffer = p.data
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(4)
+        opt.step()
+        assert p.data is buffer  # no reallocation on the hot path
+
+    def test_moment_state_isolated_between_params(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        opt = Adam([a, b], lr=0.1)
+        a.grad = np.ones(3)
+        opt.step()  # b has no grad: its state and data must not move
+        assert np.allclose(b.data, 0.0)
+        assert np.allclose(opt._m[1], 0.0) and np.allclose(opt._v[1], 0.0)
+
+
 class TestSGD:
     def test_step_is_lr_times_grad(self):
         p = Tensor(np.array([1.0]), requires_grad=True)

@@ -83,6 +83,34 @@ class TestFilterMixerLayer:
         with pytest.raises(ValueError):
             FilterMixerLayer(12, 8, np.ones(3), None, rng=rng)
 
+    def test_filter_cache_invalidated_on_payload_replacement(self, rng):
+        """Replacing a filter parameter's .data must not serve stale filters."""
+        m = num_frequency_bins(12)
+        layer = FilterMixerLayer(12, 8, np.ones(m), np.ones(m), rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(rng.normal(size=(2, 12, 8)))
+        before = layer.mix_spectra(x).data.copy()  # warms the cache
+        layer.dfs_real.data = layer.dfs_real.data + 1.0  # new payload object
+        after = layer.mix_spectra(x).data
+        assert not np.allclose(before, after)
+
+    def test_filter_cache_manual_invalidation(self, rng):
+        """In-place .data edits require invalidate_filter_cache()."""
+        m = num_frequency_bins(12)
+        layer = FilterMixerLayer(12, 8, np.ones(m), np.ones(m), rng=np.random.default_rng(0))
+        layer.eval()
+        x = Tensor(rng.normal(size=(2, 12, 8)))
+        layer.mix_spectra(x)
+        layer.dfs_real.data += 1.0
+        layer.invalidate_filter_cache()
+        from repro.autograd.spectral import combined_filter
+
+        expected = combined_filter(
+            layer.dfs_real, layer.dfs_imag, layer.dfs_mask,
+            layer.sfs_real, layer.sfs_imag, layer.sfs_mask, layer.gamma,
+        )
+        assert np.allclose(layer._combined_filter(), expected)
+
     def test_gradients_reach_all_parameters(self, rng):
         m = num_frequency_bins(12)
         layer = FilterMixerLayer(12, 8, np.ones(m), np.ones(m), rng=rng)

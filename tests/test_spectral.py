@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.autograd import functional as F
 from repro.autograd.gradcheck import gradcheck
 from repro.autograd.spectral import (
+    combined_filter,
     dft_matrices,
     num_frequency_bins,
     spectral_filter,
+    spectral_filter_mixed,
     spectral_filter_reference,
 )
 from repro.autograd.tensor import Tensor
@@ -172,6 +175,136 @@ class TestGradients:
         fast = spectral_filter(x, wr, wi, mask)
         ref = spectral_filter_reference(x, wr, wi, mask)
         assert np.allclose(fast.data, ref.data, atol=1e-9)
+
+
+def make_mixed_inputs(rng, batch=2, n=8, d=3):
+    """x plus independent DFS/SFS filter pairs for the fused op."""
+    m = num_frequency_bins(n)
+    x = Tensor(rng.normal(size=(batch, n, d)), requires_grad=True)
+    params = [Tensor(rng.normal(size=(m, d)), requires_grad=True) for _ in range(4)]
+    return (x, *params, m)
+
+
+def mask_pair(m, kind, rng):
+    """DFS/SFS window pairs covering the interesting overlap regimes."""
+    if kind == "disjoint":
+        dfs, sfs = np.zeros(m), np.zeros(m)
+        dfs[: m // 2] = 1.0
+        sfs[m // 2 :] = 1.0
+    elif kind == "overlapping":
+        dfs = (rng.random(m) > 0.3).astype(float)
+        sfs = (rng.random(m) > 0.3).astype(float)
+        sfs[m // 3] = dfs[m // 3] = 1.0  # force at least one shared bin
+    else:  # full
+        dfs, sfs = np.ones(m), np.ones(m)
+    return dfs, sfs
+
+
+def mixed_reference(x, dr, di, dfs_mask, sr, si, sfs_mask, gamma):
+    """(1-γ)·ref_D + γ·ref_S through the O(N²) DFT-matrix reference."""
+    a = spectral_filter_reference(x, dr, di, dfs_mask)
+    b = spectral_filter_reference(x, sr, si, sfs_mask)
+    return F.add(F.mul(a, 1.0 - gamma), F.mul(b, gamma))
+
+
+class TestMixedForward:
+    @pytest.mark.parametrize("n", [8, 9])
+    @pytest.mark.parametrize("gamma", [0.0, 0.5, 1.0])
+    @pytest.mark.parametrize("kind", ["disjoint", "overlapping"])
+    def test_matches_reference(self, rng, n, gamma, kind):
+        x, dr, di, sr, si, m = make_mixed_inputs(rng, n=n)
+        dfs_mask, sfs_mask = mask_pair(m, kind, rng)
+        fused = spectral_filter_mixed(x, dr, di, dfs_mask, sr, si, sfs_mask, gamma)
+        ref = mixed_reference(x, dr, di, dfs_mask, sr, si, sfs_mask, gamma)
+        assert np.allclose(fused.data, ref.data, atol=1e-10)
+
+    def test_matches_two_spectral_filter_calls(self, rng):
+        x, dr, di, sr, si, m = make_mixed_inputs(rng, n=10)
+        dfs_mask, sfs_mask = mask_pair(m, "overlapping", rng)
+        fused = spectral_filter_mixed(x, dr, di, dfs_mask, sr, si, sfs_mask, 0.3)
+        a = spectral_filter(x, dr, di, dfs_mask)
+        b = spectral_filter(x, sr, si, sfs_mask)
+        assert np.allclose(fused.data, 0.7 * a.data + 0.3 * b.data, atol=1e-12)
+
+    def test_precombined_filter_injection(self, rng):
+        """Passing a cached combined_filter result must not change values."""
+        x, dr, di, sr, si, m = make_mixed_inputs(rng)
+        dfs_mask, sfs_mask = mask_pair(m, "overlapping", rng)
+        filt = combined_filter(dr, di, dfs_mask, sr, si, sfs_mask, 0.5)
+        with_cache = spectral_filter_mixed(
+            x, dr, di, dfs_mask, sr, si, sfs_mask, 0.5, filt=filt
+        )
+        without = spectral_filter_mixed(x, dr, di, dfs_mask, sr, si, sfs_mask, 0.5)
+        assert np.array_equal(with_cache.data, without.data)
+
+    def test_shape_validation(self, rng):
+        x, dr, di, sr, si, m = make_mixed_inputs(rng)
+        with pytest.raises(ValueError):
+            spectral_filter_mixed(
+                Tensor(np.zeros((2, 8))), dr, di, np.ones(m), sr, si, np.ones(m), 0.5
+            )
+        with pytest.raises(ValueError):
+            spectral_filter_mixed(
+                x, dr, di, np.ones(m + 1), sr, si, np.ones(m), 0.5
+            )
+        with pytest.raises(ValueError):
+            spectral_filter_mixed(
+                x, Tensor(np.zeros((m + 1, 3))), di, np.ones(m), sr, si, np.ones(m), 0.5
+            )
+
+
+class TestMixedGradients:
+    @pytest.mark.parametrize("n", [8, 9])
+    @pytest.mark.parametrize("gamma", [0.0, 0.5, 1.0])
+    @pytest.mark.parametrize("kind", ["disjoint", "overlapping"])
+    def test_gradcheck_finite_differences(self, rng, n, gamma, kind):
+        x, dr, di, sr, si, m = make_mixed_inputs(rng, n=n)
+        dfs_mask, sfs_mask = mask_pair(m, kind, rng)
+        gradcheck(
+            lambda a, b, c, d, e: spectral_filter_mixed(
+                a, b, c, dfs_mask, d, e, sfs_mask, gamma
+            ),
+            [x, dr, di, sr, si],
+        )
+
+    @pytest.mark.parametrize("n", [8, 9])
+    @pytest.mark.parametrize("gamma", [0.0, 0.5, 1.0])
+    def test_fused_and_reference_gradients_agree(self, rng, n, gamma):
+        x, dr, di, sr, si, m = make_mixed_inputs(rng, n=n)
+        dfs_mask, sfs_mask = mask_pair(m, "overlapping", rng)
+        tensors = (x, dr, di, sr, si)
+
+        out = spectral_filter_mixed(x, dr, di, dfs_mask, sr, si, sfs_mask, gamma)
+        seed_grad = np.ones_like(out.data)
+        out.backward(seed_grad)
+        fused = [t.grad.copy() if t.grad is not None else None for t in tensors]
+
+        for t in tensors:
+            t.zero_grad()
+        ref = mixed_reference(x, dr, di, dfs_mask, sr, si, sfs_mask, gamma)
+        ref.backward(seed_grad)
+        for got, t in zip(fused, tensors):
+            expected = t.grad if t.grad is not None else np.zeros_like(t.data)
+            got = got if got is not None else np.zeros_like(t.data)
+            assert np.allclose(got, expected, atol=1e-10)
+
+    def test_masked_bins_receive_no_filter_gradient(self, rng):
+        x, dr, di, sr, si, m = make_mixed_inputs(rng)
+        dfs_mask, sfs_mask = mask_pair(m, "disjoint", rng)
+        out = spectral_filter_mixed(x, dr, di, dfs_mask, sr, si, sfs_mask, 0.5)
+        out.backward(np.ones_like(out.data))
+        assert np.allclose(dr.grad[dfs_mask == 0], 0.0)
+        assert np.allclose(di.grad[dfs_mask == 0], 0.0)
+        assert np.allclose(sr.grad[sfs_mask == 0], 0.0)
+        assert np.allclose(si.grad[sfs_mask == 0], 0.0)
+
+    def test_dc_and_nyquist_imaginary_gradients_zero(self, rng):
+        x, dr, di, sr, si, m = make_mixed_inputs(rng, n=8)
+        out = spectral_filter_mixed(x, dr, di, np.ones(m), sr, si, np.ones(m), 0.5)
+        out.backward(np.ones_like(out.data))
+        for imag in (di, si):
+            assert np.allclose(imag.grad[0], 0.0)
+            assert np.allclose(imag.grad[-1], 0.0)  # Nyquist for even N
 
 
 class TestDftMatrices:
