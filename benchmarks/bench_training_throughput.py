@@ -1,8 +1,10 @@
-"""Training-step throughput of each model family.
+"""Training-step throughput of each model family, in both dtypes.
 
 Not a paper artifact, but the number a downstream user asks first:
 how expensive is one optimizer step of SLIME4Rec vs the baselines on
-identical data.
+identical data — and how much the float32 compute core saves over the
+float64 default (the measured comparison is committed under
+``benchmarks/results/dtype_step_time.json``).
 """
 
 import numpy as np
@@ -13,6 +15,7 @@ from repro.data.batching import BatchIterator
 from repro.optim import Adam
 
 MODELS = ["SASRec", "FMLP-Rec", "GRU4Rec", "SLIME4Rec", "DuoRec"]
+DTYPES = ["float64", "float32"]
 
 
 @pytest.fixture(scope="module")
@@ -23,10 +26,11 @@ def setup(request):
     return dataset
 
 
+@pytest.mark.parametrize("dtype", DTYPES)
 @pytest.mark.parametrize("name", MODELS)
-def test_train_step_throughput(benchmark, setup, name):
+def test_train_step_throughput(benchmark, setup, name, dtype):
     dataset = setup
-    model = build_baseline(name, dataset, hidden_dim=64, seed=0)
+    model = build_baseline(name, dataset, hidden_dim=64, seed=0, dtype=dtype)
     iterator = BatchIterator(dataset, batch_size=128, with_same_target=True, seed=0)
     batch = next(iter(iterator.epoch()))
     optimizer = Adam(model.parameters())

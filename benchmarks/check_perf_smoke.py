@@ -1,42 +1,83 @@
 #!/usr/bin/env python
 """CI perf smoke check: fail fast on pathological training slowdowns.
 
-Runs a 5-step SLIME4Rec training loop plus one full-catalog evaluation
-pass on the synthetic beauty preset and exits non-zero when either
-exceeds its wall-clock budget.  The budgets are deliberately loose
-(several times the expected duration on a loaded CI worker): the goal
-is to catch order-of-magnitude regressions — an accidentally quadratic
-path, a dropped cache, a float-pow in a hot loop — not to benchmark.
+Runs a 5-step SLIME4Rec training loop in **both dtypes** (the float64
+default and the float32 fast path) plus one full-catalog evaluation
+pass on the synthetic beauty preset, and exits non-zero when any of
+them exceeds its wall-clock budget.  The budgets are deliberately
+loose (several times the expected duration on a loaded CI worker): the
+goal is to catch order-of-magnitude regressions — an accidentally
+quadratic path, a dropped cache, a float-pow in a hot loop, a silent
+float64 upcast that erases the float32 win — not to benchmark.
+
+Each run also appends one JSON line per dtype to
+``benchmarks/results/step_time_history.jsonl`` (git revision, step
+time, eval time), building the per-PR step-time record the ROADMAP
+asks for.  Set ``PERF_SMOKE_NO_RECORD=1`` to skip the append.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_perf_smoke.py
 
 Environment overrides: ``PERF_SMOKE_TRAIN_BUDGET_S`` (default 15),
-``PERF_SMOKE_EVAL_BUDGET_S`` (default 5).  No pytest or
-pytest-benchmark dependency — plain stdlib + the repo itself.
+``PERF_SMOKE_EVAL_BUDGET_S`` (default 5), ``PERF_SMOKE_NO_RECORD``.
+No pytest or pytest-benchmark dependency — plain stdlib + the repo
+itself.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
+import subprocess
 import sys
 import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+HISTORY_PATH = RESULTS_DIR / "step_time_history.jsonl"
+
+GEOMETRY = {
+    "dataset": "beauty",
+    "scale": 0.2,
+    "max_len": 32,
+    "hidden_dim": 64,
+    "batch_size": 128,
+    "model": "SLIME4Rec",
+}
+
+#: Timed optimizer steps per dtype (shared by measurement and budget math).
+STEPS = 5
 
 
-def main() -> int:
-    train_budget = float(os.environ.get("PERF_SMOKE_TRAIN_BUDGET_S", "15"))
-    eval_budget = float(os.environ.get("PERF_SMOKE_EVAL_BUDGET_S", "5"))
+def _git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
 
+
+def _measure(dataset, dtype: str, steps: int = STEPS):
+    """Train ``steps`` batches + one eval pass; return timings/losses."""
     from repro.baselines import build_baseline
     from repro.data.batching import BatchIterator
-    from repro.data.synthetic import load_preset
     from repro.evaluation import Evaluator
     from repro.optim import Adam
 
-    dataset = load_preset("beauty", scale=0.2, max_len=32)
-    model = build_baseline("SLIME4Rec", dataset, hidden_dim=64, seed=0)
-    iterator = BatchIterator(dataset, batch_size=128, with_same_target=True, seed=0)
+    model = build_baseline(
+        GEOMETRY["model"], dataset,
+        hidden_dim=GEOMETRY["hidden_dim"], seed=0, dtype=dtype,
+    )
+    iterator = BatchIterator(
+        dataset, batch_size=GEOMETRY["batch_size"], with_same_target=True, seed=0
+    )
     batch = next(iter(iterator.epoch()))
     optimizer = Adam(model.parameters())
 
@@ -49,29 +90,89 @@ def main() -> int:
 
     step()  # warmup outside the budget: first call pays FFT/cache setup
     start = time.perf_counter()
-    losses = [step() for _ in range(5)]
+    losses = [step() for _ in range(steps)]
     train_elapsed = time.perf_counter() - start
 
     start = time.perf_counter()
     result = Evaluator(dataset).evaluate(model, split="valid")
     eval_elapsed = time.perf_counter() - start
+    return {
+        "steps": steps,
+        "train_s": train_elapsed,
+        "step_ms": train_elapsed / steps * 1000.0,
+        "eval_s": eval_elapsed,
+        "losses": losses,
+        "result": result,
+    }
+
+
+def main() -> int:
+    train_budget = float(os.environ.get("PERF_SMOKE_TRAIN_BUDGET_S", "15"))
+    eval_budget = float(os.environ.get("PERF_SMOKE_EVAL_BUDGET_S", "5"))
+
+    from repro.data.synthetic import load_preset
+
+    dataset = load_preset(
+        GEOMETRY["dataset"], scale=GEOMETRY["scale"], max_len=GEOMETRY["max_len"]
+    )
 
     ok = True
-    print(f"train: 5 steps in {train_elapsed:.2f}s (budget {train_budget:.0f}s), "
-          f"final loss {losses[-1]:.4f}")
-    if not all(l == l and l != float("inf") for l in losses):  # NaN/inf guard
-        print("FAIL: non-finite training loss", file=sys.stderr)
-        ok = False
-    if train_elapsed > train_budget:
-        print(f"FAIL: training exceeded budget ({train_elapsed:.2f}s > {train_budget:.0f}s)",
-              file=sys.stderr)
-        ok = False
-    print(f"eval: full pass in {eval_elapsed:.2f}s (budget {eval_budget:.0f}s), "
-          f"{result.as_row()}")
-    if eval_elapsed > eval_budget:
-        print(f"FAIL: evaluation exceeded budget ({eval_elapsed:.2f}s > {eval_budget:.0f}s)",
-              file=sys.stderr)
-        ok = False
+    records = []
+    measured = {}
+    for dtype in ("float64", "float32"):
+        m = _measure(dataset, dtype)
+        measured[dtype] = m
+        print(f"[{dtype}] train: {m['steps']} steps in {m['train_s']:.2f}s "
+              f"({m['step_ms']:.0f} ms/step, budget {train_budget:.0f}s), "
+              f"final loss {m['losses'][-1]:.4f}")
+        if not all(math.isfinite(l) for l in m["losses"]):
+            print(f"FAIL: non-finite training loss in {dtype}", file=sys.stderr)
+            ok = False
+        if m["train_s"] > train_budget:
+            print(f"FAIL: {dtype} training exceeded budget "
+                  f"({m['train_s']:.2f}s > {train_budget:.0f}s)", file=sys.stderr)
+            ok = False
+        print(f"[{dtype}] eval: full pass in {m['eval_s']:.2f}s "
+              f"(budget {eval_budget:.0f}s), {m['result'].as_row()}")
+        if m["eval_s"] > eval_budget:
+            print(f"FAIL: {dtype} evaluation exceeded budget "
+                  f"({m['eval_s']:.2f}s > {eval_budget:.0f}s)", file=sys.stderr)
+            ok = False
+        records.append({
+            "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "git": _git_revision(),
+            "dtype": dtype,
+            "step_ms": round(m["step_ms"], 2),
+            "eval_s": round(m["eval_s"], 3),
+            **GEOMETRY,
+        })
+
+    def _speedup() -> float:
+        f32 = measured["float32"]["step_ms"]
+        return measured["float64"]["step_ms"] / f32 if f32 else 0.0
+
+    print(f"float32 step speedup over float64: {_speedup():.2f}x")
+    # A float32 step markedly slower than the float64 step means the
+    # fast path regressed into widening copies somewhere.  A single
+    # 5-step timing is noisy on a loaded worker, so re-measure both
+    # dtypes once before failing; only a persistent inversion is real.
+    if _speedup() < 1.0 / 1.3:
+        print("float32 slower than float64 — re-measuring once to rule out noise")
+        measured["float64"] = _measure(dataset, "float64")
+        measured["float32"] = _measure(dataset, "float32")
+        print(f"float32 step speedup over float64 (re-run): {_speedup():.2f}x")
+        if _speedup() < 1.0 / 1.3:
+            print("FAIL: float32 step is persistently slower than float64 — "
+                  "a widening copy likely crept into the hot path", file=sys.stderr)
+            ok = False
+
+    if not os.environ.get("PERF_SMOKE_NO_RECORD"):
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        with HISTORY_PATH.open("a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        print(f"step-time record appended to {HISTORY_PATH}")
+
     print("perf smoke:", "OK" if ok else "FAIL")
     return 0 if ok else 1
 

@@ -317,7 +317,7 @@ def getitem(a, index) -> Tensor:
     a = as_tensor(a)
     if isinstance(index, Tensor):
         index = index.data
-    out = a.data[index]
+    out = np.asarray(a.data[index])  # scalar indexing yields numpy scalars
 
     def backward(grad):
         full = np.zeros_like(a.data)
@@ -376,7 +376,11 @@ def pad_axis(a, axis: int, before: int, after: int, value: float = 0.0) -> Tenso
 
 def sum(a, axis=None, keepdims: bool = False) -> Tensor:
     a = as_tensor(a)
-    out = a.data.sum(axis=axis, keepdims=keepdims)
+    # Full reductions return *numpy scalars*; wrap them as 0-d arrays so
+    # the Tensor constructor keeps their dtype instead of coercing them
+    # to the scalar-constant default (which would silently narrow a
+    # float64 reduction when the default is float32).
+    out = np.asarray(a.data.sum(axis=axis, keepdims=keepdims))
 
     def backward(grad):
         g = grad
@@ -389,10 +393,12 @@ def sum(a, axis=None, keepdims: bool = False) -> Tensor:
 
 def mean(a, axis=None, keepdims: bool = False) -> Tensor:
     a = as_tensor(a)
-    out = a.data.mean(axis=axis, keepdims=keepdims)
-    count = a.data.size if axis is None else np.prod(
+    out = np.asarray(a.data.mean(axis=axis, keepdims=keepdims))  # see sum()
+    # Keep ``count`` a python int: a strong ``np.int64`` scalar would
+    # promote float32 gradients to float64 in the division below.
+    count = a.data.size if axis is None else int(np.prod(
         [a.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
-    )
+    ))
 
     def backward(grad):
         g = grad / count
@@ -429,7 +435,7 @@ def sum_to(a, shape: Tuple[int, ...]) -> Tensor:
 
 def matmul(a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    out = a.data @ b.data
+    out = np.asarray(a.data @ b.data)  # 1-d @ 1-d yields a numpy scalar
 
     def backward(grad):
         a_d, b_d = a.data, b.data

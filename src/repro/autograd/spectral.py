@@ -55,23 +55,27 @@ def num_frequency_bins(n: int) -> int:
     return n // 2 + 1
 
 
-#: Cached, read-only mirror-weight vectors keyed by sequence length —
-#: these are pure functions of ``n`` and sit on the per-layer hot path.
+#: Cached, read-only mirror-weight vectors keyed by sequence length and
+#: dtype — pure functions of ``n`` that sit on the per-layer hot path.
+#: The dtype key keeps float32 backward passes in complex64: a float64
+#: mirror vector would silently promote the batch-summed spectrum
+#: product to complex128.
 _MIRROR_CACHE: dict = {}
 
 
-def _mirror_weights(n: int) -> np.ndarray:
+def _mirror_weights(n: int, dtype=np.float64) -> np.ndarray:
     """Per-bin multiplicity of the half-spectrum in the full spectrum."""
-    cached = _MIRROR_CACHE.get(n)
+    key = (n, np.dtype(dtype))
+    cached = _MIRROR_CACHE.get(key)
     if cached is not None:
         return cached
     m = num_frequency_bins(n)
-    w = np.full(m, 2.0)
+    w = np.full(m, 2.0, dtype=key[1])
     w[0] = 1.0
     if n % 2 == 0:
         w[-1] = 1.0
     w.setflags(write=False)
-    _MIRROR_CACHE[n] = w
+    _MIRROR_CACHE[key] = w
     return w
 
 
@@ -122,7 +126,7 @@ def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
     ):
         return Tensor(out)
 
-    mirror = _mirror_weights(n)[:, None]  # (M, 1)
+    mirror = _mirror_weights(n, x.dtype)[:, None]  # (M, 1)
 
     def backward(grad):
         grad_spec = np.fft.rfft(grad, axis=1)  # (B, M, d)
@@ -243,7 +247,7 @@ def spectral_filter_mixed(
     ):
         return Tensor(out)
 
-    mirror = _mirror_weights(n)[:, None]  # (M, 1)
+    mirror = _mirror_weights(n, x.dtype)[:, None]  # (M, 1)
 
     def backward(grad):
         grad_spec = np.fft.rfft(grad, axis=1)  # (B, M, d)

@@ -34,6 +34,7 @@ class BERT4Rec(SequentialEncoderBase):
         embed_dropout: float = 0.3,
         hidden_dropout: float = 0.3,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -42,6 +43,7 @@ class BERT4Rec(SequentialEncoderBase):
             embed_dropout=embed_dropout,
             extra_tokens=1,  # the [mask] token
             seed=seed,
+            dtype=dtype,
         )
         self.mask_token = num_items + 1
         self.mask_prob = mask_prob
@@ -53,6 +55,7 @@ class BERT4Rec(SequentialEncoderBase):
             dropout=hidden_dropout,
             causal=False,
             rng=np.random.default_rng(seed + 10),
+            dtype=self.dtype,
         )
 
     # ------------------------------------------------------------------

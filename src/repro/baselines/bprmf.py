@@ -31,6 +31,7 @@ class BPRMF(SequentialEncoderBase):
         hidden_dim: int = 64,
         num_negatives: int = 1,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -38,6 +39,7 @@ class BPRMF(SequentialEncoderBase):
             hidden_dim=hidden_dim,
             embed_dropout=0.0,
             seed=seed,
+            dtype=dtype,
         )
         self.num_negatives = num_negatives
         self._neg_rng = np.random.default_rng(seed + 17)

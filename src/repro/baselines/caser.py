@@ -32,6 +32,7 @@ class Caser(SequentialEncoderBase):
         heights: tuple[int, ...] = (2, 3, 4),
         embed_dropout: float = 0.3,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -39,14 +40,18 @@ class Caser(SequentialEncoderBase):
             hidden_dim=hidden_dim,
             embed_dropout=embed_dropout,
             seed=seed,
+            dtype=dtype,
         )
         rng = np.random.default_rng(seed + 6)
         self.horizontal = ModuleList(
-            [HorizontalConv(max_len, hidden_dim, h, num_h_filters, rng=rng) for h in heights]
+            [
+                HorizontalConv(max_len, hidden_dim, h, num_h_filters, rng=rng, dtype=self.dtype)
+                for h in heights
+            ]
         )
-        self.vertical = VerticalConv(max_len, num_v_filters, rng=rng)
+        self.vertical = VerticalConv(max_len, num_v_filters, rng=rng, dtype=self.dtype)
         concat_dim = num_h_filters * len(heights) + num_v_filters * hidden_dim
-        self.project = Linear(concat_dim, hidden_dim, rng=rng)
+        self.project = Linear(concat_dim, hidden_dim, rng=rng, dtype=self.dtype)
         self.out_dropout = Dropout(embed_dropout, rng=np.random.default_rng(seed + 7))
 
     def encode_states(self, input_ids: np.ndarray) -> Tensor:

@@ -36,6 +36,7 @@ class CL4SRec(SASRec):
         embed_dropout: float = 0.3,
         hidden_dropout: float = 0.3,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -46,6 +47,7 @@ class CL4SRec(SASRec):
             embed_dropout=embed_dropout,
             hidden_dropout=hidden_dropout,
             seed=seed,
+            dtype=dtype,
         )
         self.cl_weight = cl_weight
         self.cl_temperature = cl_temperature

@@ -35,6 +35,7 @@ class ContrastVAE(SASRec):
         embed_dropout: float = 0.3,
         hidden_dropout: float = 0.3,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -45,10 +46,11 @@ class ContrastVAE(SASRec):
             embed_dropout=embed_dropout,
             hidden_dropout=hidden_dropout,
             seed=seed,
+            dtype=dtype,
         )
         rng = np.random.default_rng(seed + 14)
-        self.mu_head = Linear(hidden_dim, hidden_dim, rng=rng)
-        self.logvar_head = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.mu_head = Linear(hidden_dim, hidden_dim, rng=rng, dtype=self.dtype)
+        self.logvar_head = Linear(hidden_dim, hidden_dim, rng=rng, dtype=self.dtype)
         self.cl_weight = cl_weight
         self.cl_temperature = cl_temperature
         self.kl_weight = kl_weight

@@ -38,6 +38,7 @@ class CoSeRec(SASRec):
         embed_dropout: float = 0.3,
         hidden_dropout: float = 0.3,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -48,6 +49,7 @@ class CoSeRec(SASRec):
             embed_dropout=embed_dropout,
             hidden_dropout=hidden_dropout,
             seed=seed,
+            dtype=dtype,
         )
         self.cl_weight = cl_weight
         self.cl_temperature = cl_temperature

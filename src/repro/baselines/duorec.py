@@ -35,6 +35,7 @@ class DuoRec(SASRec):
         hidden_dropout: float = 0.3,
         noise_eps: float = 0.0,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -46,6 +47,7 @@ class DuoRec(SASRec):
             hidden_dropout=hidden_dropout,
             noise_eps=noise_eps,
             seed=seed,
+            dtype=dtype,
         )
         self.cl_weight = cl_weight
         self.cl_temperature = cl_temperature

@@ -29,6 +29,7 @@ class FMLPRec(SequentialEncoderBase):
         embed_dropout: float = 0.3,
         hidden_dropout: float = 0.3,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -36,6 +37,7 @@ class FMLPRec(SequentialEncoderBase):
             hidden_dim=hidden_dim,
             embed_dropout=embed_dropout,
             seed=seed,
+            dtype=dtype,
         )
         rng = np.random.default_rng(seed + 11)
         m = num_frequency_bins(max_len)
@@ -50,6 +52,7 @@ class FMLPRec(SequentialEncoderBase):
                     gamma=0.0,
                     dropout=hidden_dropout,
                     rng=rng,
+                    dtype=self.dtype,
                 )
                 for _ in range(num_layers)
             ]

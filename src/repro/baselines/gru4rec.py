@@ -21,6 +21,7 @@ class GRU4Rec(SequentialEncoderBase):
         hidden_dim: int = 64,
         embed_dropout: float = 0.3,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -28,8 +29,9 @@ class GRU4Rec(SequentialEncoderBase):
             hidden_dim=hidden_dim,
             embed_dropout=embed_dropout,
             seed=seed,
+            dtype=dtype,
         )
-        self.gru = GRU(hidden_dim, hidden_dim, rng=np.random.default_rng(seed + 5))
+        self.gru = GRU(hidden_dim, hidden_dim, rng=np.random.default_rng(seed + 5), dtype=self.dtype)
 
     def encode_states(self, input_ids: np.ndarray) -> Tensor:
         return self.gru(self.embed(input_ids))

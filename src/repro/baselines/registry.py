@@ -43,18 +43,22 @@ def build_baseline(
     hidden_dim: int = 64,
     num_layers: int = 2,
     seed: int = 0,
+    dtype=None,
     **overrides,
 ):
     """Construct a Table II model wired to ``dataset``'s geometry.
 
     ``overrides`` are forwarded to the model constructor (SLIME4Rec
-    accepts SlimeConfig fields instead).
+    accepts SlimeConfig fields instead).  ``dtype`` selects the compute
+    precision of every model uniformly (float32/float64); ``None``
+    defers to :func:`repro.nn.init.get_default_dtype`.
     """
     common: Dict = dict(
         num_items=dataset.num_items,
         max_len=dataset.max_len,
         hidden_dim=hidden_dim,
         seed=seed,
+        dtype=dtype,
     )
     if name == "BPR-MF":
         return BPRMF(**common, **overrides)
@@ -87,6 +91,7 @@ def build_baseline(
             hidden_dim=hidden_dim,
             num_layers=num_layers,
             seed=seed,
+            dtype=dtype,
             **overrides,
         )
         return Slime4Rec(config)

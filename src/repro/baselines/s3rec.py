@@ -46,6 +46,7 @@ class S3Rec(SASRec):
         embed_dropout: float = 0.3,
         hidden_dropout: float = 0.3,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -56,6 +57,7 @@ class S3Rec(SASRec):
             embed_dropout=embed_dropout,
             hidden_dropout=hidden_dropout,
             seed=seed,
+            dtype=dtype,
         )
         self.mask_prob = mask_prob
         self.pretrain_steps = pretrain_steps

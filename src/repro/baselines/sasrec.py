@@ -29,6 +29,7 @@ class SASRec(SequentialEncoderBase):
         hidden_dropout: float = 0.3,
         noise_eps: float = 0.0,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__(
             num_items=num_items,
@@ -37,6 +38,7 @@ class SASRec(SequentialEncoderBase):
             embed_dropout=embed_dropout,
             noise_eps=noise_eps,
             seed=seed,
+            dtype=dtype,
         )
         self.encoder = TransformerEncoder(
             hidden_dim,
@@ -45,6 +47,7 @@ class SASRec(SequentialEncoderBase):
             dropout=hidden_dropout,
             causal=True,
             rng=np.random.default_rng(seed + 8),
+            dtype=self.dtype,
         )
 
     def encode_states(self, input_ids: np.ndarray) -> Tensor:

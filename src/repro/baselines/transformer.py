@@ -22,14 +22,17 @@ class TransformerBlock(Module):
         dropout: float = 0.3,
         causal: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
-        self.attention = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, causal=causal, rng=rng)
-        self.attn_norm = LayerNorm(dim)
+        self.attention = MultiHeadSelfAttention(
+            dim, num_heads, dropout=dropout, causal=causal, rng=rng, dtype=dtype
+        )
+        self.attn_norm = LayerNorm(dim, dtype=dtype)
         self.attn_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
-        self.ffn = PointwiseFeedForward(dim, inner_dim=4 * dim, rng=rng)
-        self.ffn_norm = LayerNorm(dim)
+        self.ffn = PointwiseFeedForward(dim, inner_dim=4 * dim, rng=rng, dtype=dtype)
+        self.ffn_norm = LayerNorm(dim, dtype=dtype)
         self.ffn_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
 
     def forward(self, x: Tensor, key_padding_mask: np.ndarray | None = None) -> Tensor:
@@ -49,12 +52,15 @@ class TransformerEncoder(Module):
         dropout: float = 0.3,
         causal: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         self.blocks = ModuleList(
             [
-                TransformerBlock(dim, num_heads=num_heads, dropout=dropout, causal=causal, rng=rng)
+                TransformerBlock(
+                    dim, num_heads=num_heads, dropout=dropout, causal=causal, rng=rng, dtype=dtype
+                )
                 for _ in range(num_layers)
             ]
         )

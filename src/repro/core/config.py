@@ -65,6 +65,17 @@ class SlimeConfig:
         injected into every layer input (the Figure 6 robustness knob).
     seed:
         Parameter-init and dropout seed.
+    dtype:
+        Compute dtype of the whole model — ``"float32"`` or
+        ``"float64"`` (or the numpy dtype objects).  ``None`` defers to
+        :func:`repro.nn.init.get_default_dtype` (float64 unless
+        reconfigured), which preserves the seed's float64 numerics
+        bit-for-bit.  ``"float32"`` halves parameter/activation memory
+        bandwidth and is the supported fast path: every op in the stack
+        keeps float32 inputs in float32 (complex64 spectra in the
+        filter mixer), and the evaluator ranks in the model dtype.
+        Stored normalized to the canonical dtype name string so configs
+        stay JSON-serializable.
     """
 
     num_items: int
@@ -82,8 +93,18 @@ class SlimeConfig:
     cl_temperature: float = 1.0
     noise_eps: float = 0.0
     seed: int = 0
+    dtype: str | None = None
 
     def __post_init__(self) -> None:
+        if self.dtype is not None:
+            from repro.nn.init import resolve_dtype
+
+            try:
+                self.dtype = resolve_dtype(self.dtype).name
+            except TypeError as exc:  # np.dtype() on unrecognized input
+                raise ValueError(
+                    f"dtype must be float32 or float64, got {self.dtype!r}"
+                ) from exc
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
         if not 0.0 <= self.gamma <= 1.0:

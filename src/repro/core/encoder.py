@@ -21,6 +21,7 @@ import numpy as np
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, Module
+from repro.nn import init as nn_init
 
 __all__ = ["SequentialEncoderBase", "PointwiseFeedForward"]
 
@@ -32,13 +33,19 @@ class PointwiseFeedForward(Module):
     is just the two-layer MLP with GELU.
     """
 
-    def __init__(self, dim: int, inner_dim: int | None = None, rng: np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        dim: int,
+        inner_dim: int | None = None,
+        rng: np.random.Generator | None = None,
+        dtype=None,
+    ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         inner_dim = inner_dim or dim
-        self.fc1 = Linear(dim, inner_dim, rng=rng)
+        self.fc1 = Linear(dim, inner_dim, rng=rng, dtype=dtype)
         self.act = GELU()
-        self.fc2 = Linear(inner_dim, dim, rng=rng)
+        self.fc2 = Linear(inner_dim, dim, rng=rng, dtype=dtype)
 
     def forward(self, x: Tensor) -> Tensor:
         return self.fc2(self.act(self.fc1(x)))
@@ -63,6 +70,11 @@ class SequentialEncoderBase(Module):
     noise_eps:
         When > 0, uniform noise of this relative magnitude is added to
         every layer input via :meth:`inject_noise` (Figure 6 protocol).
+    dtype:
+        Compute dtype for parameters and activations (float32/float64);
+        ``None`` falls back to :func:`repro.nn.init.get_default_dtype`.
+        The resolved dtype is exposed as ``self.dtype`` so subclasses
+        can type their own submodules consistently.
     """
 
     def __init__(
@@ -74,17 +86,22 @@ class SequentialEncoderBase(Module):
         extra_tokens: int = 0,
         noise_eps: float = 0.0,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         super().__init__()
         rng = np.random.default_rng(seed)
+        dtype = nn_init.resolve_dtype(dtype)
         self.num_items = num_items
         self.max_len = max_len
         self.hidden_dim = hidden_dim
         self.noise_eps = noise_eps
+        self.dtype = dtype
         self._noise_rng = np.random.default_rng(seed + 104729)
-        self.item_embedding = Embedding(num_items + 1 + extra_tokens, hidden_dim, padding_idx=0, rng=rng)
-        self.position_embedding = Embedding(max_len, hidden_dim, rng=rng)
-        self.embed_norm = LayerNorm(hidden_dim)
+        self.item_embedding = Embedding(
+            num_items + 1 + extra_tokens, hidden_dim, padding_idx=0, rng=rng, dtype=dtype
+        )
+        self.position_embedding = Embedding(max_len, hidden_dim, rng=rng, dtype=dtype)
+        self.embed_norm = LayerNorm(hidden_dim, dtype=dtype)
         self.embed_dropout = Dropout(embed_dropout, rng=np.random.default_rng(seed + 1))
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.autograd.spectral import (
 from repro.autograd.tensor import Tensor, parameter_version
 from repro.core.encoder import PointwiseFeedForward
 from repro.nn import Dropout, LayerNorm, Module, Parameter
+from repro.nn import init as nn_init
 
 __all__ = ["FilterMixerLayer"]
 
@@ -50,6 +51,11 @@ class FilterMixerLayer(Module):
         Dropout rate used at both Eq. 28 and Eq. 30 sites.
     filter_init_std:
         Std of the complex filter init (FMLP-Rec uses 0.02).
+    dtype:
+        Parameter/activation dtype (float32/float64); ``None`` uses the
+        :mod:`repro.nn.init` default.  Float32 filters combine into a
+        complex64 spectrum filter, so the whole FFT pipeline stays in
+        single precision.
     """
 
     def __init__(
@@ -62,31 +68,42 @@ class FilterMixerLayer(Module):
         dropout: float = 0.3,
         filter_init_std: float = 0.02,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         if dfs_mask is None and sfs_mask is None:
             raise ValueError("at least one of dfs_mask/sfs_mask is required")
         rng = rng or np.random.default_rng()
+        dtype = nn_init.resolve_dtype(dtype)
         m = num_frequency_bins(seq_len)
         self.seq_len = seq_len
         self.gamma = gamma
+        self.dtype = dtype
 
         self.dfs_mask = None
         if dfs_mask is not None:
             self.dfs_mask = self._check_mask(dfs_mask, m)
-            self.dfs_real = Parameter(rng.normal(0, filter_init_std, (m, hidden_dim)), name="dfs_real")
-            self.dfs_imag = Parameter(rng.normal(0, filter_init_std, (m, hidden_dim)), name="dfs_imag")
+            self.dfs_real = Parameter(
+                nn_init.normal(rng, (m, hidden_dim), std=filter_init_std, dtype=dtype), name="dfs_real"
+            )
+            self.dfs_imag = Parameter(
+                nn_init.normal(rng, (m, hidden_dim), std=filter_init_std, dtype=dtype), name="dfs_imag"
+            )
 
         self.sfs_mask = None
         if sfs_mask is not None:
             self.sfs_mask = self._check_mask(sfs_mask, m)
-            self.sfs_real = Parameter(rng.normal(0, filter_init_std, (m, hidden_dim)), name="sfs_real")
-            self.sfs_imag = Parameter(rng.normal(0, filter_init_std, (m, hidden_dim)), name="sfs_imag")
+            self.sfs_real = Parameter(
+                nn_init.normal(rng, (m, hidden_dim), std=filter_init_std, dtype=dtype), name="sfs_real"
+            )
+            self.sfs_imag = Parameter(
+                nn_init.normal(rng, (m, hidden_dim), std=filter_init_std, dtype=dtype), name="sfs_imag"
+            )
 
-        self.filter_norm = LayerNorm(hidden_dim)
+        self.filter_norm = LayerNorm(hidden_dim, dtype=dtype)
         self.filter_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
-        self.ffn = PointwiseFeedForward(hidden_dim, rng=rng)
-        self.ffn_norm = LayerNorm(hidden_dim)
+        self.ffn = PointwiseFeedForward(hidden_dim, rng=rng, dtype=dtype)
+        self.ffn_norm = LayerNorm(hidden_dim, dtype=dtype)
         self.ffn_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
         # (cache key, combined complex filter) for the fused path; see
         # _combined_filter for the invalidation contract.

@@ -43,6 +43,7 @@ class Slime4Rec(SequentialEncoderBase):
             embed_dropout=config.embed_dropout,
             noise_eps=config.noise_eps,
             seed=config.seed,
+            dtype=config.dtype,
         )
         self.config = config
         rng = np.random.default_rng(config.seed + 2)
@@ -65,10 +66,24 @@ class Slime4Rec(SequentialEncoderBase):
                     gamma=config.gamma if (config.use_dfs and config.use_sfs) else 0.0,
                     dropout=config.hidden_dropout,
                     rng=rng,
+                    dtype=self.dtype,
                 )
             )
         self.layers = ModuleList(layers)
         self._cl_rng = np.random.default_rng(config.seed + 3)
+
+    # ------------------------------------------------------------------
+    def to(self, dtype) -> "Slime4Rec":
+        """Cast the model and keep ``config.dtype`` describing it.
+
+        The config is replaced, not mutated: the caller's original
+        ``SlimeConfig`` may be shared with other model builds.
+        """
+        import dataclasses
+
+        super().to(dtype)
+        self.config = dataclasses.replace(self.config, dtype=self.dtype.name)
+        return self
 
     # ------------------------------------------------------------------
     def encode_states(self, input_ids: np.ndarray) -> Tensor:

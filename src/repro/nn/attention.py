@@ -47,6 +47,7 @@ class MultiHeadSelfAttention(Module):
         dropout: float = 0.0,
         causal: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         if dim % num_heads != 0:
@@ -56,10 +57,10 @@ class MultiHeadSelfAttention(Module):
         self.num_heads = num_heads
         self.head_dim = dim // num_heads
         self.causal = causal
-        self.query = Linear(dim, dim, rng=rng)
-        self.key = Linear(dim, dim, rng=rng)
-        self.value = Linear(dim, dim, rng=rng)
-        self.out = Linear(dim, dim, rng=rng)
+        self.query = Linear(dim, dim, rng=rng, dtype=dtype)
+        self.key = Linear(dim, dim, rng=rng, dtype=dtype)
+        self.value = Linear(dim, dim, rng=rng, dtype=dtype)
+        self.out = Linear(dim, dim, rng=rng, dtype=dtype)
         self.attn_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
 
     def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:

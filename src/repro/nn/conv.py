@@ -47,16 +47,18 @@ class HorizontalConv(Module):
         height: int,
         channels: int,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         if height > seq_len:
             raise ValueError(f"window height {height} exceeds sequence length {seq_len}")
         rng = rng or np.random.default_rng()
+        dtype = init.resolve_dtype(dtype)
         self.seq_len = seq_len
         self.height = height
         self.channels = channels
-        self.weight = Parameter(init.xavier_uniform(rng, (height * dim, channels)), name="weight")
-        self.bias = Parameter(init.zeros(channels), name="bias")
+        self.weight = Parameter(init.xavier_uniform(rng, (height * dim, channels), dtype=dtype), name="weight")
+        self.bias = Parameter(init.zeros(channels, dtype=dtype), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
         """(B, N, d) -> (B, channels): ReLU conv then max-over-time."""
@@ -74,12 +76,21 @@ class HorizontalConv(Module):
 class VerticalConv(Module):
     """Per-dimension weighted sum over the time axis (L filters)."""
 
-    def __init__(self, seq_len: int, channels: int, rng: np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        seq_len: int,
+        channels: int,
+        rng: np.random.Generator | None = None,
+        dtype=None,
+    ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         self.seq_len = seq_len
         self.channels = channels
-        self.weight = Parameter(init.xavier_uniform(rng, (channels, seq_len)), name="weight")
+        self.weight = Parameter(
+            init.xavier_uniform(rng, (channels, seq_len), dtype=init.resolve_dtype(dtype)),
+            name="weight",
+        )
 
     def forward(self, x: Tensor) -> Tensor:
         """(B, N, d) -> (B, channels * d)."""

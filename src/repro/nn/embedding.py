@@ -27,13 +27,14 @@ class Embedding(Module):
         padding_idx: int | None = None,
         std: float = 0.02,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.padding_idx = padding_idx
-        weight = init.normal(rng, (num_embeddings, embedding_dim), std=std)
+        weight = init.normal(rng, (num_embeddings, embedding_dim), std=std, dtype=dtype)
         if padding_idx is not None:
             weight[padding_idx] = 0.0
         self.weight = Parameter(weight, name="embedding")

@@ -23,6 +23,8 @@ class Linear(Module):
         Whether to add a learnable bias (default True).
     rng:
         Generator used for Xavier-uniform weight init.
+    dtype:
+        Parameter dtype; ``None`` uses :func:`repro.nn.init.get_default_dtype`.
     """
 
     def __init__(
@@ -31,13 +33,17 @@ class Linear(Module):
         out_features: int,
         bias: bool = True,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
+        dtype = init.resolve_dtype(dtype)
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(init.xavier_uniform(rng, (in_features, out_features)), name="weight")
-        self.bias = Parameter(init.zeros(out_features), name="bias") if bias else None
+        self.weight = Parameter(
+            init.xavier_uniform(rng, (in_features, out_features), dtype=dtype), name="weight"
+        )
+        self.bias = Parameter(init.zeros(out_features, dtype=dtype), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         out = F.matmul(x, self.weight)

@@ -80,6 +80,27 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def to(self, dtype) -> "Module":
+        """Cast every parameter payload to ``dtype`` (float32/float64).
+
+        Gradients are dropped (they belong to the old-dtype graph) and
+        parameter-derived caches are invalidated.  Call this *before*
+        creating an optimizer: moment/scratch buffers are sized and
+        typed from ``p.data`` at optimizer construction.
+        """
+        from repro.nn.init import resolve_dtype
+
+        dtype = resolve_dtype(dtype)
+        for param in self.parameters():
+            if param.data.dtype != dtype:
+                param.data = param.data.astype(dtype)
+            param.zero_grad()
+        for module in self.modules():
+            if hasattr(module, "dtype"):
+                module.dtype = dtype
+        bump_parameter_version()
+        return self
+
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
+from repro.nn import init
 from repro.nn.module import Module, Parameter
 
 __all__ = ["LayerNorm"]
@@ -17,12 +18,13 @@ class LayerNorm(Module):
     The paper uses eps=1e-12 (the BERT/FMLP-Rec convention).
     """
 
-    def __init__(self, dim: int, eps: float = 1e-12) -> None:
+    def __init__(self, dim: int, eps: float = 1e-12, dtype=None) -> None:
         super().__init__()
+        dtype = init.resolve_dtype(dtype)
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim), name="gamma")
-        self.beta = Parameter(np.zeros(dim), name="beta")
+        self.gamma = Parameter(init.ones(dim, dtype=dtype), name="gamma")
+        self.beta = Parameter(init.zeros(dim, dtype=dtype), name="beta")
 
     def forward(self, x: Tensor) -> Tensor:
         return F.layer_norm(x, self.gamma, self.beta, eps=self.eps)

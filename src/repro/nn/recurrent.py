@@ -26,14 +26,21 @@ class GRU(Module):
     the states they need (GRU4Rec uses the last one).
     """
 
-    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator | None = None,
+        dtype=None,
+    ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
+        dtype = init.resolve_dtype(dtype)
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
-        self.w_x = Parameter(init.xavier_uniform(rng, (input_dim, 3 * hidden_dim)), name="w_x")
-        self.w_h = Parameter(init.xavier_uniform(rng, (hidden_dim, 3 * hidden_dim)), name="w_h")
-        self.bias = Parameter(init.zeros(3 * hidden_dim), name="bias")
+        self.w_x = Parameter(init.xavier_uniform(rng, (input_dim, 3 * hidden_dim), dtype=dtype), name="w_x")
+        self.w_h = Parameter(init.xavier_uniform(rng, (hidden_dim, 3 * hidden_dim), dtype=dtype), name="w_h")
+        self.bias = Parameter(init.zeros(3 * hidden_dim, dtype=dtype), name="bias")
 
     def forward(self, x: Tensor, h0: Tensor | None = None) -> Tensor:
         batch, length, _ = x.shape

@@ -41,6 +41,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lr", type=float, default=1e-3)
     parser.add_argument("--patience", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--dtype",
+        choices=("float32", "float64"),
+        default=None,
+        help="compute precision; float32 halves memory bandwidth (default float64)",
+    )
     parser.add_argument("--alpha", type=float, default=0.4, help="SLIME4Rec filter size ratio")
     parser.add_argument("--checkpoint", help="where to save the trained weights (.npz)")
     parser.add_argument("--quiet", action="store_true")
@@ -64,6 +70,7 @@ def main(argv=None) -> int:
         hidden_dim=args.hidden_dim,
         num_layers=args.num_layers,
         seed=args.seed,
+        dtype=args.dtype,
         **overrides,
     )
     print(f"{args.model}: {model.num_parameters():,} parameters")
