@@ -5,6 +5,13 @@ how expensive is one optimizer step of SLIME4Rec vs the baselines on
 identical data — and how much the float32 compute core saves over the
 float64 default (the measured comparison is committed under
 ``benchmarks/results/dtype_step_time.json``).
+
+The models run on the shared per-step workspace fast paths by default
+(fused Q/K/V attention, spectral FFT scratch reuse, seed-compatible
+dropout); ``test_train_step_throughput_fast_masks`` additionally
+measures the opt-in non-seed-compatible dropout-mask path on the two
+headline configs.  ``docs/PERFORMANCE.md`` documents how to read and
+record the results.
 """
 
 import numpy as np
@@ -12,6 +19,7 @@ import pytest
 
 from repro.baselines import build_baseline
 from repro.data.batching import BatchIterator
+from repro.nn.workspace import fast_dropout_masks
 from repro.optim import Adam
 
 MODELS = ["SASRec", "FMLP-Rec", "GRU4Rec", "SLIME4Rec", "DuoRec"]
@@ -43,4 +51,25 @@ def test_train_step_throughput(benchmark, setup, name, dtype):
         return float(loss.data)
 
     result = benchmark(step)
+    assert np.isfinite(result)
+
+
+@pytest.mark.parametrize("name", ["SLIME4Rec", "SASRec"])
+def test_train_step_throughput_fast_masks(benchmark, setup, name):
+    """Float32 step time with the fast (non-seed-compatible) dropout masks."""
+    dataset = setup
+    model = build_baseline(name, dataset, hidden_dim=64, seed=0, dtype="float32")
+    iterator = BatchIterator(dataset, batch_size=128, with_same_target=True, seed=0)
+    batch = next(iter(iterator.epoch()))
+    optimizer = Adam(model.parameters())
+
+    def step():
+        optimizer.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    with fast_dropout_masks():
+        result = benchmark(step)
     assert np.isfinite(result)

@@ -15,12 +15,23 @@ Each run also appends one JSON line per dtype to
 time, eval time), building the per-PR step-time record the ROADMAP
 asks for.  Set ``PERF_SMOKE_NO_RECORD=1`` to skip the append.
 
+Once that history holds **at least 3 matching records** for a dtype
+(same model/geometry), the check also compares the measured step time
+against the rolling median of the most recent ones and fails on a
+>1.3x regression — a much tighter bound than the static budgets, while
+still noise-tolerant (the median spans several PRs, and a failing
+measurement is re-run once before it counts).  The history mixes
+machines unless CI hardware is pinned; set ``PERF_SMOKE_NO_HISTORY=1``
+to skip the comparison on a foreign machine, or widen
+``PERF_SMOKE_HISTORY_FACTOR`` (default 1.3).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_perf_smoke.py
 
 Environment overrides: ``PERF_SMOKE_TRAIN_BUDGET_S`` (default 15),
-``PERF_SMOKE_EVAL_BUDGET_S`` (default 5), ``PERF_SMOKE_NO_RECORD``.
+``PERF_SMOKE_EVAL_BUDGET_S`` (default 5), ``PERF_SMOKE_NO_RECORD``,
+``PERF_SMOKE_NO_HISTORY``, ``PERF_SMOKE_HISTORY_FACTOR``.
 No pytest or pytest-benchmark dependency — plain stdlib + the repo
 itself.
 """
@@ -30,6 +41,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import statistics
 import subprocess
 import sys
 import time
@@ -50,6 +62,41 @@ GEOMETRY = {
 
 #: Timed optimizer steps per dtype (shared by measurement and budget math).
 STEPS = 5
+
+#: Rolling-median window and minimum history size for the regression gate.
+HISTORY_WINDOW = 7
+HISTORY_MIN_RECORDS = 3
+
+
+def _history_median(dtype: str) -> tuple:
+    """Median ``step_ms`` of recent history records matching this config.
+
+    Returns ``(median, count)``; ``(None, count)`` when fewer than
+    ``HISTORY_MIN_RECORDS`` comparable records exist.  Only records
+    whose dtype *and* full geometry match count — a record taken at a
+    different batch size or model is not a baseline.
+    """
+    if not HISTORY_PATH.exists():
+        return None, 0
+    times = []
+    for line in HISTORY_PATH.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if rec.get("dtype") != dtype:
+            continue
+        if any(rec.get(key) != value for key, value in GEOMETRY.items()):
+            continue
+        if isinstance(rec.get("step_ms"), (int, float)):
+            times.append(float(rec["step_ms"]))
+    times = times[-HISTORY_WINDOW:]
+    if len(times) < HISTORY_MIN_RECORDS:
+        return None, len(times)
+    return statistics.median(times), len(times)
 
 
 def _git_revision() -> str | None:
@@ -116,12 +163,37 @@ def main() -> int:
         GEOMETRY["dataset"], scale=GEOMETRY["scale"], max_len=GEOMETRY["max_len"]
     )
 
+    history_factor = float(os.environ.get("PERF_SMOKE_HISTORY_FACTOR", "1.3"))
+    use_history = not os.environ.get("PERF_SMOKE_NO_HISTORY")
+
     ok = True
     records = []
     measured = {}
     for dtype in ("float64", "float32"):
         m = _measure(dataset, dtype)
         measured[dtype] = m
+        if use_history:
+            median, count = _history_median(dtype)
+            if median is None:
+                print(f"[{dtype}] history gate skipped "
+                      f"({count} comparable records, need {HISTORY_MIN_RECORDS})")
+            else:
+                budget_ms = history_factor * median
+                print(f"[{dtype}] history gate: {m['step_ms']:.0f} ms/step vs "
+                      f"rolling median {median:.0f} ms over {count} records "
+                      f"(limit {budget_ms:.0f} ms)")
+                if m["step_ms"] > budget_ms:
+                    print(f"[{dtype}] over the history limit — re-measuring once "
+                          f"to rule out a loaded worker")
+                    m = _measure(dataset, dtype)
+                    measured[dtype] = m
+                    print(f"[{dtype}] re-run: {m['step_ms']:.0f} ms/step")
+                    if m["step_ms"] > budget_ms:
+                        print(f"FAIL: {dtype} step time regressed "
+                              f"{m['step_ms'] / median:.2f}x over the rolling median "
+                              f"({m['step_ms']:.0f} ms > {budget_ms:.0f} ms)",
+                              file=sys.stderr)
+                        ok = False
         print(f"[{dtype}] train: {m['steps']} steps in {m['train_s']:.2f}s "
               f"({m['step_ms']:.0f} ms/step, budget {train_budget:.0f}s), "
               f"final loss {m['losses'][-1]:.4f}")
@@ -166,7 +238,12 @@ def main() -> int:
                   "a widening copy likely crept into the hot path", file=sys.stderr)
             ok = False
 
-    if not os.environ.get("PERF_SMOKE_NO_RECORD"):
+    if not ok:
+        # A failing run must not write its regressed step times into the
+        # rolling-median baseline — repeated CI retries would otherwise
+        # ratchet the regression into the history until the gate passed.
+        print("failing run: step-time record NOT appended to history")
+    elif not os.environ.get("PERF_SMOKE_NO_RECORD"):
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         with HISTORY_PATH.open("a", encoding="utf-8") as fh:
             for record in records:

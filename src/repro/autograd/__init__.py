@@ -10,6 +10,9 @@ reproduction.  It provides:
 - :mod:`~repro.autograd.spectral`: the fused FFT -> complex filter ->
   inverse-FFT operator at the heart of SLIME4Rec, with an analytically
   derived backward pass.
+- :mod:`~repro.autograd.workspace`: the shared per-step compute
+  workspace (scratch buffers, derived-constant caches, parameter-keyed
+  caches) that the hot-path ops draw their working memory from.
 - :mod:`~repro.autograd.gradcheck`: finite-difference gradient checking
   used throughout the test suite.
 """
@@ -21,6 +24,7 @@ from repro.autograd.tensor import (
     parameter_version,
     bump_parameter_version,
 )
+from repro.autograd import workspace
 from repro.autograd import functional
 from repro.autograd.spectral import (
     spectral_filter,
@@ -37,6 +41,7 @@ __all__ = [
     "parameter_version",
     "bump_parameter_version",
     "functional",
+    "workspace",
     "spectral_filter",
     "spectral_filter_mixed",
     "combined_filter",

@@ -11,6 +11,12 @@ Every function here follows the same contract:
 Gradients returned by closures are reduced to the parent shape with
 :func:`~repro.autograd.tensor.unbroadcast` so that all binary ops support
 full numpy broadcasting.
+
+Hot-path ops (``dropout``, ``embedding``'s backward) route their
+transient working memory through the shared per-step workspace
+(:mod:`repro.autograd.workspace`) so repeated calls at one ``(B, N, d)``
+geometry reuse buffers instead of allocating; the workspace also owns
+the dropout seed-compatibility flag (see :func:`dropout`).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
+from repro.autograd.workspace import fast_dropout_masks_enabled, get_workspace
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "pow", "exp", "log", "sqrt",
@@ -273,11 +280,17 @@ def where(cond, a, b) -> Tensor:
 
 
 def masked_fill(a, mask, value: float) -> Tensor:
-    """Set positions where ``mask`` is True to ``value`` (e.g. -inf logits)."""
+    """Set positions where ``mask`` is True to ``value`` (e.g. -inf logits).
+
+    ``mask`` may be any shape broadcastable to ``a`` (attention passes
+    ``(1, 1, N, N)`` or ``(B, 1, N, N)`` blocks against ``(B, H, N, N)``
+    scores); the backward inverts the *small* mask and lets the
+    multiply broadcast, instead of materializing the full-shape
+    inverse.
+    """
     a = as_tensor(a)
     mask = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
-    mask = np.broadcast_to(mask, a.shape)
-    out = np.where(mask, np.asarray(value, dtype=a.dtype), a.data)
+    out = np.where(np.broadcast_to(mask, a.shape), np.asarray(value, dtype=a.dtype), a.data)
 
     def backward(grad):
         return (grad * ~mask,)
@@ -313,6 +326,14 @@ def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
     return _make(out, (a,), backward)
 
 
+def _is_basic_index(index) -> bool:
+    """True for int/slice-only indexing, where positions cannot repeat."""
+    basic = (int, np.integer, slice, type(Ellipsis), type(None))
+    if isinstance(index, tuple):
+        return all(isinstance(i, basic) for i in index)
+    return isinstance(index, basic)
+
+
 def getitem(a, index) -> Tensor:
     a = as_tensor(a)
     if isinstance(index, Tensor):
@@ -321,7 +342,13 @@ def getitem(a, index) -> Tensor:
 
     def backward(grad):
         full = np.zeros_like(a.data)
-        np.add.at(full, index, grad)
+        if _is_basic_index(index):
+            # Basic indexing selects each position at most once, so a
+            # direct assignment replaces the (much slower) ``np.add.at``
+            # scatter — this is the ``states[:, -1]`` hot path.
+            full[index] = grad
+        else:
+            np.add.at(full, index, grad)
         return (full,)
 
     return _make(out, (a,), backward)
@@ -558,31 +585,70 @@ def embedding(weight, indices) -> Tensor:
     def backward(grad):
         # Scatter-add via one flat ``bincount`` over (row, column) linear
         # indices: a single C-level pass, ~4x faster than ``np.add.at``
-        # and linear in both the gathered rows and the vocabulary.
+        # and linear in both the gathered rows and the vocabulary.  The
+        # linear-index array is built in a shared workspace buffer (it
+        # is consumed by ``bincount`` immediately).
         rows, dim = weight.shape
         flat = idx.reshape(-1)
-        lin = (flat[:, None] * dim + np.arange(dim)[None, :]).reshape(-1)
+        ws = get_workspace()
+        cols = ws.cached(("arange", dim), lambda: np.arange(dim))
+        lin = ws.scratch("embedding.lin", (flat.size, dim), np.int64)
+        np.add(flat[:, None] * dim, cols[None, :], out=lin)
         full = np.bincount(
-            lin, weights=grad.reshape(-1), minlength=rows * dim
+            lin.reshape(-1), weights=grad.reshape(-1), minlength=rows * dim
         ).reshape(rows, dim)
         return (full.astype(weight.dtype, copy=False),)
 
     return _make(out, (weight,), backward)
 
 
-def dropout(a, p: float, training: bool, rng: np.random.Generator) -> Tensor:
-    """Inverted dropout; identity when not training or ``p == 0``."""
+def dropout(
+    a, p: float, training: bool, rng: np.random.Generator, fast: Optional[bool] = None
+) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``.
+
+    ``a`` must be a floating tensor; the output and gradient keep its
+    dtype.  The kept/dropped decisions come from one of two paths:
+
+    - **Seed-compatible** (``fast=False``, the default): one float64
+      uniform per element from ``rng``, drawn into a shared workspace
+      buffer.  The draw consumes the generator stream exactly like the
+      seed implementation (``rng.random(a.shape)``), and the output is
+      bitwise-identical to the historical
+      ``a * ((draw < keep).astype(a.dtype) / keep)`` formulation — the
+      mask is just kept as booleans and the ``1/keep`` rescale applied
+      in place, which skips two full-array temporaries.
+    - **Fast** (``fast=True``): one uint16 per element thresholded at
+      ``round(keep * 65536)``.  ~2.5x cheaper mask generation, same
+      distribution up to a 1/65536 quantization of ``keep``, but a
+      different stochastic realization per seed.
+
+    ``fast=None`` defers to the process-wide seed-compatibility flag
+    (:func:`repro.autograd.workspace.set_fast_dropout_masks`).
+    """
     a = as_tensor(a)
     if not training or p <= 0.0:
         return a
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     keep = 1.0 - p
-    mask = (rng.random(a.shape) < keep).astype(a.dtype) / keep
+    if fast is None:
+        fast = fast_dropout_masks_enabled()
+    if fast:
+        threshold = np.uint16(min(65535, int(round(keep * 65536.0))))
+        mask = rng.integers(0, 65536, size=a.shape, dtype=np.uint16) < threshold
+    else:
+        draw = get_workspace().scratch("dropout.draw", a.shape, np.float64)
+        rng.random(out=draw)
+        mask = draw < keep
+    scale = a.dtype.type(1.0) / a.dtype.type(keep)
     out = a.data * mask
+    out *= scale
 
     def backward(grad):
-        return (grad * mask,)
+        g = grad * mask
+        g *= scale
+        return (g,)
 
     return _make(out, (a,), backward)
 
@@ -592,7 +658,9 @@ def layer_norm(a, gamma, beta, eps: float = 1e-12) -> Tensor:
 
     The arithmetic matches the textbook formulation elementwise; large
     intermediates are updated in place and reused because this op runs
-    ~3x per encoder block on the training hot path.
+    ~3x per encoder block on the training hot path.  The backward's
+    transient product buffer comes from the shared per-step workspace
+    (the returned input gradient is always a fresh array).
     """
     a, gamma, beta = as_tensor(a), as_tensor(gamma), as_tensor(beta)
     x = a.data
@@ -609,7 +677,10 @@ def layer_norm(a, gamma, beta, eps: float = 1e-12) -> Tensor:
 
     def backward(grad):
         g_xhat = grad * gamma.data
-        scratch = g_xhat * x_hat
+        scratch = get_workspace().scratch(
+            "layer_norm.scratch", x.shape, np.result_type(g_xhat, x_hat)
+        )
+        np.multiply(g_xhat, x_hat, out=scratch)
         g_var_term = scratch.mean(axis=-1, keepdims=True)
         g_mu_term = g_xhat.mean(axis=-1, keepdims=True)
         np.multiply(grad, x_hat, out=scratch)

@@ -22,6 +22,20 @@ Both the values and the gradients are cross-checked in the test suite
 against :func:`spectral_filter_reference`, an implementation composed
 purely of primitive autograd ops through explicit DFT matrices, and
 against central finite differences.
+
+Workspace contract
+------------------
+All ``L`` mixer layers of a step share one ``(B, N, d)`` geometry, so
+both ops route their transient frequency-domain products (``X * filt``
+forward, ``rfft(g) * conj(filt)`` and ``conj(X) * rfft(g)`` backward)
+through the shared per-step workspace
+(:mod:`repro.autograd.workspace`) instead of allocating a fresh
+``(B, M, d)`` complex array per call.  Only the forward spectrum — the
+one array the backward closure genuinely needs later — is kept per
+layer.  Dtype contract: float32 inputs keep the whole pipeline in
+``complex64``, float64 in ``complex128``; scratch reuse silently falls
+back to allocation when input dtypes disagree (mixed-precision calls),
+so values never change.
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
+from repro.autograd.workspace import get_workspace
 
 __all__ = [
     "num_frequency_bins",
@@ -79,6 +94,30 @@ def _mirror_weights(n: int, dtype=np.float64) -> np.ndarray:
     return w
 
 
+def _mul_into(a: np.ndarray, b: np.ndarray, tag: str) -> np.ndarray:
+    """``a * b`` written into a shared workspace scratch buffer.
+
+    The product is transient in every call site here (it feeds straight
+    into an FFT or a batch reduction), so all layers of a step reuse
+    one buffer per ``(tag, shape, dtype)``.  Falls back to a plain
+    allocating multiply when the operands would promote past ``a``'s
+    dtype (mixed-precision inputs), keeping values identical either way.
+    """
+    if np.result_type(a, b) != a.dtype:
+        return a * b
+    return np.multiply(a, b, out=get_workspace().scratch(tag, a.shape, a.dtype))
+
+
+def _conj_mul_into(a: np.ndarray, b: np.ndarray, tag: str) -> np.ndarray:
+    """``conj(a) * b`` via a workspace buffer (no intermediate conj array)."""
+    if np.result_type(a, b) != a.dtype:
+        return np.conj(a) * b
+    buf = get_workspace().scratch(tag, a.shape, a.dtype)
+    np.conjugate(a, out=buf)
+    buf *= b
+    return buf
+
+
 def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
     """Apply a learnable complex frequency filter to a real sequence.
 
@@ -118,7 +157,9 @@ def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
 
     filt = (w_real.data + 1j * w_imag.data) * mask  # (M, d) complex
     spectrum = np.fft.rfft(x.data, axis=1)  # (B, M, d) complex
-    out = np.fft.irfft(spectrum * filt, n=n, axis=1).astype(x.dtype, copy=False)
+    out = np.fft.irfft(_mul_into(spectrum, filt, "spectral.prod"), n=n, axis=1).astype(
+        x.dtype, copy=False
+    )
 
     if not (
         is_grad_enabled()
@@ -130,10 +171,14 @@ def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
 
     def backward(grad):
         grad_spec = np.fft.rfft(grad, axis=1)  # (B, M, d)
-        gx = np.fft.irfft(grad_spec * np.conj(filt), n=n, axis=1).astype(x.dtype, copy=False)
+        gx = np.fft.irfft(
+            _mul_into(grad_spec, np.conj(filt), "spectral.gprod"), n=n, axis=1
+        ).astype(x.dtype, copy=False)
         # dW accumulated over the batch; mirror weights fold in the
-        # conjugate-symmetric half of the full spectrum.
-        dw = (np.conj(spectrum) * grad_spec).sum(axis=0) * (mirror / n)
+        # conjugate-symmetric half of the full spectrum.  The product
+        # reuses the grad-side scratch buffer (its previous contents
+        # were consumed by the irfft above).
+        dw = _conj_mul_into(spectrum, grad_spec, "spectral.gprod").sum(axis=0) * (mirror / n)
         dw = dw * mask  # gradient only flows inside the band
         dw_real = dw.real.astype(x.dtype, copy=False)
         dw_imag = dw.imag.astype(x.dtype, copy=False)
@@ -238,7 +283,9 @@ def spectral_filter_mixed(
         raise ValueError(f"cached filter shape {filt.shape} does not match {dfs_real.shape}")
 
     spectrum = np.fft.rfft(x.data, axis=1)  # (B, M, d) complex
-    out = np.fft.irfft(spectrum * filt, n=n, axis=1).astype(x.dtype, copy=False)
+    out = np.fft.irfft(_mul_into(spectrum, filt, "spectral.prod"), n=n, axis=1).astype(
+        x.dtype, copy=False
+    )
 
     params = (dfs_real, dfs_imag, sfs_real, sfs_imag)
     if not (
@@ -251,9 +298,12 @@ def spectral_filter_mixed(
 
     def backward(grad):
         grad_spec = np.fft.rfft(grad, axis=1)  # (B, M, d)
-        gx = np.fft.irfft(grad_spec * np.conj(filt), n=n, axis=1).astype(x.dtype, copy=False)
-        # One batch-summed spectrum product serves both branches.
-        base = (np.conj(spectrum) * grad_spec).sum(axis=0) * (mirror / n)
+        gx = np.fft.irfft(
+            _mul_into(grad_spec, np.conj(filt), "spectral.gprod"), n=n, axis=1
+        ).astype(x.dtype, copy=False)
+        # One batch-summed spectrum product serves both branches; it
+        # reuses the grad-side scratch (consumed by the irfft above).
+        base = _conj_mul_into(spectrum, grad_spec, "spectral.gprod").sum(axis=0) * (mirror / n)
         grads = [gx]
         for weight, mask in ((1.0 - gamma, dfs_mask), (gamma, sfs_mask)):
             dw = base * (weight * mask)

@@ -5,6 +5,10 @@ objective: a random fraction of positions is replaced by a ``[mask]``
 token and the model predicts the original items.  At inference the
 history is shifted left and a ``[mask]`` appended at the final position
 whose hidden state scores the next item.
+
+The bidirectional encoder shares the fused attention fast path
+(:mod:`repro.nn.attention`): same single Q/K/V GEMM, with the causal
+mask disabled and the padding-key block cached per sequence length.
 """
 
 from __future__ import annotations

@@ -3,6 +3,9 @@
 SASRec encoder plus a contrastive task over *data-level* augmented
 views: each sequence is augmented twice by a random choice of crop,
 mask or reorder, and the two views are positives under InfoNCE.
+
+All three encodes per step (original + two augmented views) run on the
+fused attention fast path (:mod:`repro.nn.attention`).
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ CL4SRec's pipeline with *robust* augmentations: instead of destructive
 crop/mask/reorder, items are substituted by or have inserted next to
 them their most co-occurrence-correlated neighbours, producing harder
 but semantically consistent positive views.
+
+Like CL4SRec, every encode runs on the fused attention fast path
+(:mod:`repro.nn.attention`); the augmentation itself is index-level
+work outside the autograd graph.
 """
 
 from __future__ import annotations

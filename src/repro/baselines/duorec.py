@@ -6,6 +6,11 @@ with different dropout masks — and (b) supervised contrast with another
 training sequence sharing the same target item.  SLIME4Rec borrows this
 exact contrastive recipe, so DuoRec differs from it only in the encoder
 (self-attention vs slide filter mixer), which is what Table V isolates.
+
+Both contrastive encodes per step run on the fused attention fast path
+(:mod:`repro.nn.attention`); the extra dropout sites make DuoRec the
+baseline that benefits most from the fast dropout-mask flag
+(:func:`repro.nn.workspace.set_fast_dropout_masks`).
 """
 
 from __future__ import annotations

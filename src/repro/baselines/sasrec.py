@@ -4,6 +4,10 @@ Causal multi-head self-attention encoder; the strongest pure
 time-domain baseline in the paper.  Trained under the unified
 cross-entropy-on-next-item protocol so all Table-II models share the
 same objective shape.
+
+Runs on the fused attention fast path by default (single Q/K/V GEMM,
+cached block masks — :mod:`repro.nn.attention`); this model is one of
+the two step-time configs tracked in ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations

@@ -1,4 +1,12 @@
-"""Transformer encoder blocks shared by the attention-based baselines."""
+"""Transformer encoder blocks shared by the attention-based baselines.
+
+Shapes: ``(B, N, dim)`` in, ``(B, N, dim)`` out, post-norm residual
+wiring (the SASRec/BERT4Rec convention).  Each block's attention runs
+on the fused workspace fast path by default — one ``(dim, 3*dim)``
+Q/K/V GEMM, score scale folded into Q, cached block masks, fused
+output projection (see :mod:`repro.nn.attention`) — and its dropout
+sites draw masks through the shared per-step workspace.
+"""
 
 from __future__ import annotations
 

@@ -12,6 +12,15 @@ outer structure from the paper's Figure 2:
 
 :class:`SequentialEncoderBase` implements the shared pieces; subclasses
 override :meth:`encode_states`.
+
+Hot-path notes: the embedding lookup's backward and every dropout site
+here run through the shared per-step workspace
+(:mod:`repro.nn.workspace`), and the ``states[:, -1]`` user-vector
+slice takes the basic-index gradient fast path — so the shared outer
+structure stays cheap while the per-model encoders (fused attention,
+fused spectral mixing) do the heavy lifting.  Evaluation scoring uses
+:meth:`SequentialEncoderBase.score_context` to materialize the
+transposed item table once per pass.
 """
 
 from __future__ import annotations

@@ -26,10 +26,11 @@ from repro.autograd.spectral import (
     spectral_filter,
     spectral_filter_mixed,
 )
-from repro.autograd.tensor import Tensor, parameter_version
+from repro.autograd.tensor import Tensor
 from repro.core.encoder import PointwiseFeedForward
 from repro.nn import Dropout, LayerNorm, Module, Parameter
 from repro.nn import init as nn_init
+from repro.nn.workspace import ParamCache
 
 __all__ = ["FilterMixerLayer"]
 
@@ -105,9 +106,9 @@ class FilterMixerLayer(Module):
         self.ffn = PointwiseFeedForward(hidden_dim, rng=rng, dtype=dtype)
         self.ffn_norm = LayerNorm(hidden_dim, dtype=dtype)
         self.ffn_dropout = Dropout(dropout, rng=np.random.default_rng(rng.integers(2**32)))
-        # (cache key, combined complex filter) for the fused path; see
-        # _combined_filter for the invalidation contract.
-        self._filt_cache = None
+        # Parameter-version-keyed combined complex filter for the fused
+        # path; see _combined_filter for the invalidation contract.
+        self._filt_cache = ParamCache()
 
     @staticmethod
     def _check_mask(mask: np.ndarray, m: int) -> np.ndarray:
@@ -120,14 +121,14 @@ class FilterMixerLayer(Module):
     def _combined_filter(self) -> np.ndarray:
         """Cached ``(1-γ)·mask_D·W_D + γ·mask_S·W_S`` for the fused op.
 
-        The cache key couples the global parameter-mutation epoch (bumped
-        by optimizer steps and checkpoint restores) with the identity of
-        the parameter payloads (held as strong references, so a freed
-        buffer's address can never be mistaken for a live one), so the
-        combined filter is rebuilt exactly once per parameter update even
-        though the contrastive objective encodes every batch three times.
-        Call :meth:`invalidate_filter_cache` after mutating filter
-        parameter ``.data`` in place by hand.
+        Backed by a :class:`~repro.nn.workspace.ParamCache` (the same
+        mechanism attention uses for its concatenated Q/K/V weight):
+        keyed on the global parameter-mutation epoch plus the identity
+        of the parameter payloads, so the combined filter is rebuilt
+        exactly once per parameter update even though the contrastive
+        objective encodes every batch three times.  Call
+        :meth:`invalidate_filter_cache` after mutating filter parameter
+        ``.data`` in place by hand.
         """
         payloads = (
             self.dfs_real.data,
@@ -135,24 +136,19 @@ class FilterMixerLayer(Module):
             self.sfs_real.data,
             self.sfs_imag.data,
         )
-        cached = self._filt_cache
-        if (
-            cached is not None
-            and cached[0] == (parameter_version(), self.gamma)
-            and all(a is b for a, b in zip(cached[1], payloads))
-        ):
-            return cached[2]
-        filt = combined_filter(
-            self.dfs_real, self.dfs_imag, self.dfs_mask,
-            self.sfs_real, self.sfs_imag, self.sfs_mask,
-            self.gamma,
-        )
-        self._filt_cache = ((parameter_version(), self.gamma), payloads, filt)
-        return filt
+
+        def build():
+            return combined_filter(
+                self.dfs_real, self.dfs_imag, self.dfs_mask,
+                self.sfs_real, self.sfs_imag, self.sfs_mask,
+                self.gamma,
+            )
+
+        return self._filt_cache.get(payloads, build, extra=self.gamma)
 
     def invalidate_filter_cache(self) -> None:
         """Drop the cached combined filter (after manual weight edits)."""
-        self._filt_cache = None
+        self._filt_cache.invalidate()
 
     def mix_spectra(self, x: Tensor) -> Tensor:
         """Eqs. 21 + 25 + 26-27: filter, mix, return time-domain signal.

@@ -1,4 +1,11 @@
-"""Activation modules (thin wrappers over functional ops)."""
+"""Activation modules (thin wrappers over functional ops).
+
+Shapes and dtype contract: elementwise over any floating input; output
+and gradients keep the input's shape and dtype.  :class:`GELU` is the
+tanh approximation used by the paper's FFN, with cubes expanded to
+multiplies and intermediates folded in place on both passes (see
+:func:`repro.autograd.functional.gelu`); the others are textbook.
+"""
 
 from __future__ import annotations
 

@@ -9,6 +9,12 @@ Caser treats the embedded sequence as an ``N x d`` image and applies:
 
 Both are expressed through primitive autograd ops (slicing + matmul),
 so no dedicated convolution kernels are required.
+
+Shapes and dtype contract: input ``(B, N, d)`` in the resolved
+parameter dtype; :class:`HorizontalConv` returns ``(B, channels)``
+(max-pooled over time), :class:`VerticalConv` returns
+``(B, channels * d)``.  Neither path is workspace-fused — Caser is not
+a throughput baseline; see ``docs/PERFORMANCE.md`` for which paths are.
 """
 
 from __future__ import annotations

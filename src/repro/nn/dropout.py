@@ -1,4 +1,20 @@
-"""Dropout layer with an owned random stream."""
+"""Dropout layer with an owned random stream.
+
+Shapes and dtype contract: any floating input, output of the same
+shape and dtype; the eval-mode forward returns the input tensor itself
+(no copy, no graph node).
+
+Mask generation runs through the shared per-step workspace
+(:mod:`repro.nn.workspace`).  The default path is **seed-compatible**:
+one float64 uniform per element from this layer's own generator, drawn
+into a reusable buffer, bitwise-faithful to the seed implementation.
+:func:`repro.nn.workspace.set_fast_dropout_masks` (or the
+``fast_dropout_masks()`` context manager) switches every dropout site
+in the process to cheap uint16 threshold masks — same distribution up
+to a 1/65536 quantization of the keep probability, different stochastic
+realization per seed.  See :func:`repro.autograd.functional.dropout`
+for the exact contract.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,13 @@
-"""Embedding lookup table."""
+"""Embedding lookup table.
+
+Shapes and dtype contract: integer indices of any shape ``(...,)``
+gather rows from a ``(num_embeddings, embedding_dim)`` weight in the
+resolved parameter dtype, producing ``(..., embedding_dim)``.  The
+backward is a flat-``bincount`` segment sum whose linear-index scratch
+comes from the shared per-step workspace
+(:func:`repro.autograd.functional.embedding`); gradients return in the
+weight's dtype.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,16 @@
-"""Fully-connected layer."""
+"""Fully-connected layer.
+
+Shapes and dtype contract: input ``(..., in_features)``, output
+``(..., out_features)``; weight ``(in_features, out_features)`` and
+bias ``(out_features,)`` live in the resolved parameter dtype
+(float32/float64, see :mod:`repro.nn.init`) and activations follow it.
+
+The attention fast path (:mod:`repro.nn.attention`) bypasses
+``Linear.forward`` for its three Q/K/V projections — it concatenates
+the three weight payloads into one cached ``(d, 3d)`` GEMM operand —
+but the parameters remain these ``Linear`` modules, so checkpoints and
+optimizers are unaffected.
+"""
 
 from __future__ import annotations
 

@@ -5,6 +5,16 @@ discovered automatically through attribute assignment (the same
 convention as ``torch.nn.Module``).  It provides recursive parameter
 iteration, train/eval mode switching, and a flat ``state_dict`` for
 checkpointing.
+
+Dtype contract: parameters are created in the dtype resolved by
+:mod:`repro.nn.init` (float64 default, float32 fast path) and
+:meth:`Module.to` casts a built module between the two.  Mutations
+that rebind or restore parameter payloads (``to``, ``load_state_dict``)
+bump the global parameter version so parameter-derived caches — the
+filter mixer's combined filter, attention's concatenated Q/K/V weight
+(:class:`repro.nn.workspace.ParamCache`) — rebuild on the next use;
+editing ``param.data`` in place by hand requires invalidating those
+caches yourself.
 """
 
 from __future__ import annotations

@@ -1,4 +1,13 @@
-"""Normalization layers."""
+"""Normalization layers.
+
+Shapes and dtype contract: :class:`LayerNorm` normalizes the last axis
+of any ``(..., dim)`` floating input; ``gamma``/``beta`` are ``(dim,)``
+parameters in the resolved dtype and output/gradients keep the input
+dtype.  The underlying op (:func:`repro.autograd.functional.layer_norm`)
+is fused: forward folds its intermediates in place, and the backward
+routes its transient product buffer through the shared per-step
+workspace (:mod:`repro.nn.workspace`).
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,13 @@
-"""Gated recurrent unit for the GRU4Rec baseline."""
+"""Gated recurrent unit for the GRU4Rec baseline.
+
+Shapes and dtype contract: input ``(B, N, input_dim)``, optional
+initial state ``(B, hidden_dim)``, output ``(B, N, hidden_dim)``; the
+three gate projections are packed as ``(input_dim, 3*hidden_dim)`` /
+``(hidden_dim, 3*hidden_dim)`` parameters in the resolved dtype (the
+same packed-GEMM layout the attention fast path builds dynamically).
+All input projections for the whole sequence run as one batched matmul
+before the recurrence; only the hidden-to-hidden step is sequential.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,62 @@
+"""Public surface of the shared per-step compute workspace.
+
+``repro.nn.workspace`` is the documented entry point for the workspace
+subsystem that backs the training hot paths:
+
+- **Scratch buffers** (:meth:`StepWorkspace.scratch`): the spectral ops
+  write their frequency-domain filter products into shared ``(B, M, d)``
+  complex buffers instead of allocating per call, dropout draws its
+  float64 uniforms into a shared buffer, and the embedding backward
+  builds its scatter indices in one; all ``L`` layers of a step reuse
+  the same arrays (see :mod:`repro.autograd.spectral` and
+  :func:`repro.autograd.functional.dropout`).
+- **Derived-constant caches** (:meth:`StepWorkspace.cached`): causal /
+  anti-diagonal attention masks per sequence length, index rows, and
+  other pure functions of the geometry.
+- **Parameter-derived caches** (:class:`ParamCache`): the filter
+  mixer's combined complex filter and attention's concatenated
+  ``(d, 3d)`` Q/K/V weight, rebuilt exactly once per optimizer step.
+- **The dropout seed-compatibility flag**
+  (:func:`set_fast_dropout_masks` / :func:`fast_dropout_masks`): opt-in
+  cheap mask generation for throughput runs that do not need
+  bitwise-reproducible stochasticity.
+
+Typical uses::
+
+    from repro.nn import workspace
+
+    # Inspect / free the hot-path buffers (e.g. between experiments):
+    ws = workspace.get_workspace()
+    print(ws)             # scratch/cached entry counts, hit rate, bytes
+    ws.clear()
+
+    # Benchmark with cheap dropout masks (non-seed-compatible):
+    with workspace.fast_dropout_masks():
+        train_one_epoch(model)
+
+Everything here re-exports :mod:`repro.autograd.workspace`, which is
+the implementation layer shared by the autograd ops; import from this
+module in user code and model code.  The buffer-ownership rules that
+make the reuse safe are documented in ``docs/ARCHITECTURE.md`` and the
+measured effect in ``docs/PERFORMANCE.md``.
+"""
+
+from repro.autograd.workspace import (
+    ParamCache,
+    StepWorkspace,
+    fast_dropout_masks,
+    fast_dropout_masks_enabled,
+    get_workspace,
+    reset_workspace,
+    set_fast_dropout_masks,
+)
+
+__all__ = [
+    "StepWorkspace",
+    "ParamCache",
+    "get_workspace",
+    "reset_workspace",
+    "set_fast_dropout_masks",
+    "fast_dropout_masks_enabled",
+    "fast_dropout_masks",
+]

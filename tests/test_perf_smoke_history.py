@@ -1,0 +1,66 @@
+"""The perf-smoke rolling-median history gate (benchmarks/check_perf_smoke.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_perf_smoke.py"
+
+
+@pytest.fixture()
+def cps(tmp_path):
+    spec = importlib.util.spec_from_file_location("check_perf_smoke", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.HISTORY_PATH = tmp_path / "step_time_history.jsonl"
+    return module
+
+
+def _write(module, records):
+    lines = [r if isinstance(r, str) else json.dumps(r) for r in records]
+    module.HISTORY_PATH.write_text("\n".join(lines), encoding="utf-8")
+
+
+def _rec(module, step_ms, dtype="float32", **overrides):
+    rec = {"dtype": dtype, "step_ms": step_ms, **module.GEOMETRY}
+    rec.update(overrides)
+    return rec
+
+
+class TestHistoryMedian:
+    def test_no_file_means_no_gate(self, cps):
+        assert cps._history_median("float32") == (None, 0)
+
+    def test_needs_min_records(self, cps):
+        _write(cps, [_rec(cps, 100), _rec(cps, 110)])
+        median, count = cps._history_median("float32")
+        assert median is None and count == 2
+
+    def test_median_of_matching_records(self, cps):
+        _write(cps, [_rec(cps, 100), _rec(cps, 110), _rec(cps, 120)])
+        assert cps._history_median("float32") == (110.0, 3)
+
+    def test_even_window_averages_middle_pair(self, cps):
+        _write(cps, [_rec(cps, ms) for ms in (100, 110, 120, 130)])
+        assert cps._history_median("float32") == (115.0, 4)
+
+    def test_ignores_other_dtype_geometry_and_garbage(self, cps):
+        _write(cps, [
+            _rec(cps, 100), _rec(cps, 110), _rec(cps, 120),
+            _rec(cps, 5, dtype="float64"),
+            _rec(cps, 5, dataset="other"),
+            _rec(cps, 5, batch_size=1),
+            "not json at all",
+        ])
+        assert cps._history_median("float32") == (110.0, 3)
+        assert cps._history_median("float64") == (None, 1)
+
+    def test_rolling_window_keeps_most_recent(self, cps):
+        old = [_rec(cps, 1000.0) for _ in range(5)]
+        recent = [_rec(cps, ms) for ms in (100, 105, 110, 115, 120, 125, 130)]
+        _write(cps, old + recent)
+        median, count = cps._history_median("float32")
+        assert count == cps.HISTORY_WINDOW
+        assert median == 115.0  # the 1000 ms outliers fell out of the window

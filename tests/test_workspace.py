@@ -1,0 +1,386 @@
+"""Path-equivalence tests for the shared per-step compute workspace.
+
+Covers the three hot paths the workspace subsystem rewired:
+
+- fused Q/K/V attention vs. three separate projections (forward and
+  backward, both dtypes, two geometries),
+- shared-workspace FFT products vs. per-call allocation in the spectral
+  ops (repeated/interleaved calls must not corrupt values or grads),
+- the fast dropout-mask path (keep rate in expectation, scaling,
+  backward consistency) and the bitwise fidelity of the default path.
+
+Plus the workspace primitives themselves (scratch reuse, derived-
+constant caching, ParamCache invalidation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import functional as F
+from repro.autograd.spectral import spectral_filter, spectral_filter_mixed
+from repro.autograd.tensor import Tensor, bump_parameter_version
+from repro.nn import MultiHeadSelfAttention
+from repro.nn.workspace import (
+    ParamCache,
+    fast_dropout_masks,
+    fast_dropout_masks_enabled,
+    get_workspace,
+    reset_workspace,
+    set_fast_dropout_masks,
+)
+
+DTYPES = [np.float32, np.float64]
+TOL = {np.float32: 1e-4, np.float64: 1e-10}
+
+# Two step geometries: (batch, seq_len, dim, heads)
+GEOMETRIES = [(3, 6, 8, 2), (2, 10, 12, 3)]
+
+
+# ----------------------------------------------------------------------
+# Workspace primitives
+# ----------------------------------------------------------------------
+
+class TestStepWorkspace:
+    def test_scratch_reuses_buffer_per_key(self):
+        ws = reset_workspace()
+        a = ws.scratch("t", (4, 5), np.float32)
+        b = ws.scratch("t", (4, 5), np.float32)
+        assert a is b
+        assert ws.hits == 1 and ws.misses == 1
+
+    def test_scratch_distinguishes_shape_dtype_tag(self):
+        ws = reset_workspace()
+        a = ws.scratch("t", (4, 5), np.float32)
+        assert ws.scratch("t", (4, 5), np.float64) is not a
+        assert ws.scratch("t", (5, 4), np.float32) is not a
+        assert ws.scratch("u", (4, 5), np.float32) is not a
+
+    def test_cached_builds_once(self):
+        ws = reset_workspace()
+        calls = []
+        build = lambda: calls.append(1) or np.arange(3)
+        first = ws.cached(("k", 3), build)
+        second = ws.cached(("k", 3), build)
+        assert first is second and len(calls) == 1
+
+    def test_clear_drops_buffers(self):
+        ws = reset_workspace()
+        ws.scratch("t", (8,), np.float64)
+        assert ws.nbytes() == 64
+        ws.clear()
+        assert ws.nbytes() == 0
+
+    def test_param_cache_rebuilds_on_version_bump(self):
+        cache = ParamCache()
+        payload = np.ones(3)
+        calls = []
+        build = lambda: calls.append(1) or payload * 2
+        cache.get((payload,), build)
+        cache.get((payload,), build)
+        assert len(calls) == 1
+        bump_parameter_version()
+        cache.get((payload,), build)
+        assert len(calls) == 2
+
+    def test_param_cache_rebuilds_on_payload_identity_change(self):
+        cache = ParamCache()
+        calls = []
+        build = lambda: calls.append(1)
+        cache.get((np.ones(3),), build)  # payload freed afterwards
+        cache.get((np.ones(3),), build)  # new array, same values
+        assert len(calls) == 2
+
+    def test_param_cache_extra_key(self):
+        cache = ParamCache()
+        payload = np.ones(3)
+        calls = []
+        build = lambda: calls.append(1)
+        cache.get((payload,), build, extra=0.5)
+        cache.get((payload,), build, extra=0.7)
+        assert len(calls) == 2
+
+    def test_param_cache_invalidate(self):
+        cache = ParamCache()
+        payload = np.ones(3)
+        calls = []
+        build = lambda: calls.append(1)
+        cache.get((payload,), build)
+        cache.invalidate()
+        cache.get((payload,), build)
+        assert len(calls) == 2
+
+
+# ----------------------------------------------------------------------
+# Fused QKV attention vs. three separate projections
+# ----------------------------------------------------------------------
+
+def _attention_pair(dim, heads, dtype, causal=True):
+    fused = MultiHeadSelfAttention(
+        dim, heads, dropout=0.0, causal=causal, rng=np.random.default_rng(0), dtype=dtype
+    )
+    unfused = MultiHeadSelfAttention(
+        dim, heads, dropout=0.0, causal=causal, rng=np.random.default_rng(0),
+        dtype=dtype, fused=False,
+    )
+    return fused, unfused
+
+
+class TestFusedAttentionEquivalence:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    @pytest.mark.parametrize("padded", [False, True])
+    def test_forward_backward_match(self, dtype, geometry, padded):
+        batch, length, dim, heads = geometry
+        fused, unfused = _attention_pair(dim, heads, dtype)
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal((batch, length, dim)).astype(dtype)
+        pad = None
+        if padded:
+            pad = np.zeros((batch, length), dtype=bool)
+            pad[0, :2] = True
+        x1 = Tensor(x, requires_grad=True)
+        x2 = Tensor(x.copy(), requires_grad=True)
+        out1 = fused(x1, key_padding_mask=pad)
+        out2 = unfused(x2, key_padding_mask=pad)
+        tol = TOL[dtype]
+        np.testing.assert_allclose(out1.data, out2.data, atol=tol, rtol=tol)
+
+        grad = rng.standard_normal(out1.shape).astype(dtype)
+        out1.backward(grad)
+        out2.backward(grad)
+        np.testing.assert_allclose(x1.grad, x2.grad, atol=tol, rtol=tol)
+        for (name, p1), (_, p2) in zip(
+            fused.named_parameters(), unfused.named_parameters()
+        ):
+            assert p1.grad is not None, f"{name} got no grad on the fused path"
+            np.testing.assert_allclose(
+                p1.grad, p2.grad, atol=tol, rtol=tol, err_msg=name
+            )
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_bidirectional_match(self, dtype):
+        batch, length, dim, heads = GEOMETRIES[0]
+        fused, unfused = _attention_pair(dim, heads, dtype, causal=False)
+        x = np.random.default_rng(7).standard_normal((batch, length, dim)).astype(dtype)
+        x1, x2 = Tensor(x, requires_grad=True), Tensor(x.copy(), requires_grad=True)
+        out1, out2 = fused(x1), unfused(x2)
+        tol = TOL[dtype]
+        np.testing.assert_allclose(out1.data, out2.data, atol=tol, rtol=tol)
+        out1.sum().backward()
+        out2.sum().backward()
+        np.testing.assert_allclose(x1.grad, x2.grad, atol=tol, rtol=tol)
+
+    def test_same_dropout_masks_per_seed(self):
+        """Both paths draw the same attention-dropout stream per seed."""
+        batch, length, dim, heads = GEOMETRIES[0]
+        x = np.random.default_rng(3).standard_normal((batch, length, dim))
+        outs = []
+        for fused in (True, False):
+            attn = MultiHeadSelfAttention(
+                dim, heads, dropout=0.4, causal=True,
+                rng=np.random.default_rng(0), dtype=np.float64, fused=fused,
+            )
+            outs.append(attn(Tensor(x)).data)
+        np.testing.assert_allclose(outs[0], outs[1], atol=1e-10)
+
+    def test_qkv_cache_rebuilds_after_weight_update(self):
+        batch, length, dim, heads = GEOMETRIES[0]
+        attn, _ = _attention_pair(dim, heads, np.float64)
+        x = Tensor(np.random.default_rng(1).standard_normal((batch, length, dim)))
+        before = attn(x).data.copy()
+        attn.query.weight.data += 1.0  # manual in-place edit
+        attn.invalidate_qkv_cache()
+        after = attn(x).data
+        assert not np.allclose(before, after)
+
+    def test_double_backward_over_shared_graph(self):
+        """Two backward passes over one graph accumulate like unfused."""
+        batch, length, dim, heads = GEOMETRIES[0]
+        fused, unfused = _attention_pair(dim, heads, np.float64)
+        x = np.random.default_rng(5).standard_normal((batch, length, dim))
+        grads = []
+        for attn in (fused, unfused):
+            xt = Tensor(x.copy(), requires_grad=True)
+            out = attn(xt)
+            out.sum().backward()
+            out.sum().backward()
+            grads.append(xt.grad.copy())
+        np.testing.assert_allclose(grads[0], grads[1], atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Shared-workspace FFT vs. per-call behaviour
+# ----------------------------------------------------------------------
+
+def _mixed_inputs(rng, n, d, dtype):
+    m = n // 2 + 1
+    x = Tensor(rng.standard_normal((2, n, d)).astype(dtype), requires_grad=True)
+    params = [
+        Tensor(rng.standard_normal((m, d)).astype(dtype) * 0.1, requires_grad=True)
+        for _ in range(4)
+    ]
+    dfs_mask = (np.arange(m) < m // 2 + 1).astype(float)
+    sfs_mask = (np.arange(m) >= m // 2 - 1).astype(float)
+    return x, params, dfs_mask, sfs_mask
+
+
+class TestSpectralWorkspaceReuse:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("n,d", [(8, 4), (12, 6)])
+    def test_repeated_calls_reuse_scratch_and_match_composition(self, dtype, n, d):
+        """Scratch reuse across calls must not change values or grads."""
+        rng = np.random.default_rng(0)
+        ws = reset_workspace()
+        results = []
+        for trial in range(2):  # second trial runs entirely on reused buffers
+            x, p, dm, sm = _mixed_inputs(np.random.default_rng(3), n, d, dtype)
+            fused = spectral_filter_mixed(x, p[0], p[1], dm, p[2], p[3], sm, 0.3)
+            fused.sum().backward()
+            results.append(
+                (fused.data.copy(), x.grad.copy(), [q.grad.copy() for q in p])
+            )
+        for a, b in zip(results[0], results[1]):
+            if isinstance(a, list):
+                for ga, gb in zip(a, b):
+                    np.testing.assert_array_equal(ga, gb)
+            else:
+                np.testing.assert_array_equal(a, b)
+        assert ws.hits > 0, "spectral ops did not reuse workspace scratch"
+
+        # Cross-check the reused-buffer result against the two-branch
+        # composition of the plain op (the defining identity).
+        x, p, dm, sm = _mixed_inputs(np.random.default_rng(3), n, d, dtype)
+        a = spectral_filter(x, p[0], p[1], dm)
+        b = spectral_filter(x, p[2], p[3], sm)
+        composed = 0.7 * a.data + 0.3 * b.data
+        tol = TOL[dtype]
+        np.testing.assert_allclose(results[1][0], composed, atol=tol, rtol=tol)
+
+    def test_interleaved_geometries_do_not_corrupt(self):
+        """Alternating two geometries exercises two scratch entries."""
+        outs = {}
+        for trial in range(2):
+            for n, d in [(8, 4), (12, 6)]:
+                x, p, dm, sm = _mixed_inputs(np.random.default_rng(n + d), n, d, np.float64)
+                out = spectral_filter_mixed(x, p[0], p[1], dm, p[2], p[3], sm, 0.5)
+                out.sum().backward()
+                key = (n, d, trial)
+                outs[key] = (out.data.copy(), x.grad.copy())
+        for n, d in [(8, 4), (12, 6)]:
+            np.testing.assert_array_equal(outs[(n, d, 0)][0], outs[(n, d, 1)][0])
+            np.testing.assert_array_equal(outs[(n, d, 0)][1], outs[(n, d, 1)][1])
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_plain_spectral_filter_backward_unchanged(self, dtype):
+        """The single-branch op still matches its autograd reference."""
+        from repro.autograd.spectral import spectral_filter_reference
+
+        rng = np.random.default_rng(1)
+        n, d = 8, 3
+        m = n // 2 + 1
+        x = rng.standard_normal((2, n, d)).astype(dtype)
+        wr = (rng.standard_normal((m, d)) * 0.1).astype(dtype)
+        wi = (rng.standard_normal((m, d)) * 0.1).astype(dtype)
+        mask = np.ones(m)
+        t1 = [Tensor(v.copy(), requires_grad=True) for v in (x, wr, wi)]
+        t2 = [Tensor(v.copy(), requires_grad=True) for v in (x, wr, wi)]
+        out1 = spectral_filter(*t1, mask)
+        out2 = spectral_filter_reference(*t2, mask)
+        tol = TOL[dtype]
+        np.testing.assert_allclose(out1.data, out2.data, atol=tol, rtol=tol)
+        out1.sum().backward()
+        out2.sum().backward()
+        for a, b in zip(t1, t2):
+            np.testing.assert_allclose(a.grad, b.grad, atol=tol, rtol=tol)
+
+
+# ----------------------------------------------------------------------
+# Dropout: bitwise default, fast path in expectation
+# ----------------------------------------------------------------------
+
+class TestDropoutPaths:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("shape", [(4, 8, 16), (2000,)])
+    def test_default_path_bitwise_faithful(self, dtype, shape):
+        """Seed-compatible mode reproduces the historical formula exactly."""
+        p = 0.3
+        keep = 1.0 - p
+        a = Tensor(
+            np.random.default_rng(1).standard_normal(shape).astype(dtype),
+            requires_grad=True,
+        )
+        out = F.dropout(a, p, training=True, rng=np.random.default_rng(9))
+        ref_mask = (np.random.default_rng(9).random(shape) < keep).astype(dtype) / keep
+        np.testing.assert_array_equal(out.data, a.data * ref_mask)
+        grad = np.random.default_rng(2).standard_normal(shape).astype(dtype)
+        out.backward(grad)
+        np.testing.assert_array_equal(a.grad, grad * ref_mask)
+
+    def test_flag_default_is_seed_compatible(self):
+        assert not fast_dropout_masks_enabled()
+
+    def test_flag_context_manager_restores(self):
+        with fast_dropout_masks():
+            assert fast_dropout_masks_enabled()
+            with fast_dropout_masks(False):
+                assert not fast_dropout_masks_enabled()
+            assert fast_dropout_masks_enabled()
+        assert not fast_dropout_masks_enabled()
+
+    def test_set_returns_previous(self):
+        assert set_fast_dropout_masks(True) is False
+        assert set_fast_dropout_masks(False) is True
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("p", [0.25, 0.5])
+    def test_fast_path_keep_rate_and_scaling(self, dtype, p):
+        keep = 1.0 - p
+        a = Tensor(np.ones((400, 400), dtype=dtype))
+        with fast_dropout_masks():
+            out = F.dropout(a, p, training=True, rng=np.random.default_rng(0))
+        assert out.dtype == np.dtype(dtype)
+        kept = out.data != 0
+        # 160k Bernoulli draws: observed rate within ~4 sigma of keep.
+        sigma = np.sqrt(keep * (1 - keep) / a.size)
+        assert abs(kept.mean() - keep) < 4 * sigma + 1e-4
+        expected = dtype(1.0) / dtype(keep)
+        np.testing.assert_allclose(out.data[kept], expected, rtol=1e-6)
+
+    def test_fast_path_backward_uses_forward_mask(self):
+        a = Tensor(np.ones((64, 64)), requires_grad=True)
+        with fast_dropout_masks():
+            out = F.dropout(a, 0.5, training=True, rng=np.random.default_rng(0))
+        out.backward(np.ones(a.shape))
+        np.testing.assert_array_equal((a.grad != 0), (out.data != 0))
+
+    def test_explicit_fast_argument_overrides_flag(self):
+        a = Tensor(np.ones((8, 8)))
+        out_slow = F.dropout(a, 0.5, training=True, rng=np.random.default_rng(0), fast=False)
+        ref_mask = (np.random.default_rng(0).random((8, 8)) < 0.5)
+        np.testing.assert_array_equal(out_slow.data != 0, ref_mask)
+
+    def test_eval_mode_still_identity(self):
+        a = Tensor(np.ones((4, 4)))
+        with fast_dropout_masks():
+            assert F.dropout(a, 0.5, training=False, rng=np.random.default_rng(0)) is a
+
+
+# ----------------------------------------------------------------------
+# Train-step equivalence: default path matches the seed formulation
+# ----------------------------------------------------------------------
+
+class TestGetitemBasicIndexBackward:
+    def test_slice_index_matches_scatter(self):
+        a = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        out = F.getitem(a, (slice(None), -1))
+        out.sum().backward()
+        expected = np.zeros((2, 3, 4))
+        expected[:, -1] = 1.0
+        np.testing.assert_array_equal(a.grad, expected)
+
+    def test_fancy_index_still_accumulates_duplicates(self):
+        a = Tensor(np.zeros((5, 2)), requires_grad=True)
+        idx = np.array([1, 1, 3])
+        out = F.getitem(a, idx)
+        out.sum().backward()
+        assert a.grad[1, 0] == 2.0 and a.grad[3, 0] == 1.0
