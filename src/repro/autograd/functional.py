@@ -26,13 +26,19 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
-from repro.autograd.workspace import fast_dropout_masks_enabled, get_workspace
+from repro.autograd.workspace import (
+    dropout_view_count,
+    fast_dropout_masks_enabled,
+    get_workspace,
+)
 
 __all__ = [
-    "add", "sub", "mul", "div", "neg", "pow", "exp", "log", "sqrt",
-    "tanh", "sigmoid", "relu", "gelu", "matmul", "reshape", "transpose",
+    "add", "add3", "sub", "mul", "div", "neg", "pow", "exp", "log", "sqrt",
+    "tanh", "sigmoid", "relu", "gelu", "matmul", "linear", "reshape",
+    "transpose",
     "sum", "mean", "var", "getitem", "concat", "stack", "pad_axis",
-    "softmax", "log_softmax", "cross_entropy", "embedding", "dropout",
+    "softmax", "log_softmax", "cross_entropy", "linear_cross_entropy",
+    "embedding", "dropout",
     "layer_norm", "where", "maximum", "clip", "masked_fill", "sum_to",
     "binary_cross_entropy_with_logits", "logsigmoid", "l2_normalize",
 ]
@@ -57,6 +63,36 @@ def add(a, b) -> Tensor:
         return unbroadcast(grad, a.shape), unbroadcast(grad, b.shape)
 
     return _make(out, (a, b), backward)
+
+
+def add3(a, b, c) -> Tensor:
+    """Three-operand add ``a + b + c`` as a single graph node.
+
+    One output buffer and one graph node instead of two of each — the
+    densely-residual Eq. 30 site (``x + hidden + ffn_dropout``) runs on
+    ``(B, N, d)`` activations three times per encoder layer, where the
+    intermediate ``a + b`` array of the chained form is pure memory
+    traffic.  Values are bitwise the chained ``add(add(a, b), c)``
+    (same left-to-right elementwise order).
+    """
+    a, b, c = as_tensor(a), as_tensor(b), as_tensor(c)
+    out = a.data + b.data  # binary + always allocates: safe to reuse
+    if (
+        out.shape == np.broadcast_shapes(out.shape, c.shape)
+        and np.result_type(out, c.data) == out.dtype
+    ):
+        out += c.data
+    else:  # c would broadcast outward or promote the dtype
+        out = out + c.data
+
+    def backward(grad):
+        return (
+            unbroadcast(grad, a.shape),
+            unbroadcast(grad, b.shape),
+            unbroadcast(grad, c.shape),
+        )
+
+    return _make(out, (a, b, c), backward)
 
 
 def sub(a, b) -> Tensor:
@@ -483,11 +519,60 @@ def matmul(a, b) -> Tensor:
             while gb.ndim > 1:
                 gb = gb.sum(axis=0)
             return ga, gb
+        if a_d.ndim > 2 and b_d.ndim == 2:
+            # Batched input against a shared weight (every Linear on a
+            # (B, N, d) activation).  The generic expressions below feed
+            # BLAS *transposed views* as batched operands, which repacks
+            # the weight once per batch row (~3x the GEMM cost at the
+            # (3B, N, d) stacked-view geometry) and materializes a
+            # (batch, k, n) per-row product that is then reduced.  Two
+            # flat 2-D GEMMs — where BLAS handles the transposes as
+            # flags — compute the same contractions directly.
+            g2 = grad.reshape(-1, b_d.shape[1])
+            ga = (g2 @ b_d.T).reshape(a_d.shape)
+            gb = a_d.reshape(-1, a_d.shape[-1]).T @ g2
+            return ga, gb
         ga = grad @ np.swapaxes(b_d, -1, -2)
         gb = np.swapaxes(a_d, -1, -2) @ grad
         return unbroadcast(ga, a_d.shape), unbroadcast(gb, b_d.shape)
 
     return _make(out, (a, b), backward)
+
+
+def linear(x, weight, bias=None) -> Tensor:
+    """Fused affine map ``x @ weight + bias`` as one graph node.
+
+    The composition ``add(matmul(x, weight), bias)`` allocates a second
+    full-size output and walks it twice; here the bias is added in
+    place on the fresh GEMM output (bitwise the same elementwise sum)
+    and the backward computes the three gradients directly.  For
+    batched inputs ``(..., k)`` the gradients run as two flat 2-D GEMMs
+    (BLAS handles the transposes as flags — no per-row operand repack).
+    Inputs of fewer than 2 dimensions fall back to the primitive
+    composition.
+    """
+    x, weight = as_tensor(x), as_tensor(weight)
+    if bias is None:
+        return matmul(x, weight)
+    bias = as_tensor(bias)
+    if x.ndim < 2 or weight.ndim != 2 or bias.data.ndim != 1:
+        return add(matmul(x, weight), bias)
+    out = x.data @ weight.data
+    out += bias.data
+
+    def backward(grad):
+        w_d = weight.data
+        if grad.ndim > 2:
+            g2 = grad.reshape(-1, w_d.shape[1])
+            gx = (g2 @ w_d.T).reshape(x.shape)
+            gw = x.data.reshape(-1, w_d.shape[0]).T @ g2
+        else:
+            g2 = grad
+            gx = grad @ w_d.T
+            gw = x.data.T @ grad
+        return gx, gw, g2.sum(axis=0)
+
+    return _make(out, (x, weight, bias), backward)
 
 
 # ----------------------------------------------------------------------
@@ -520,7 +605,12 @@ def log_softmax(a, axis: int = -1) -> Tensor:
     return _make(out, (a,), backward)
 
 
-def cross_entropy(logits, targets, ignore_index: Optional[int] = None) -> Tensor:
+def cross_entropy(
+    logits,
+    targets,
+    ignore_index: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> Tensor:
     """Mean softmax cross-entropy over the last axis.
 
     Parameters
@@ -532,6 +622,14 @@ def cross_entropy(logits, targets, ignore_index: Optional[int] = None) -> Tensor
     ignore_index:
         Optional target value whose positions contribute zero loss
         (used for padding in masked-item objectives).
+    chunk_size:
+        When set (and smaller than ``num_classes``), the softmax
+        normalizer and the backward's softmax are streamed over class
+        chunks of this width instead of materializing full-size
+        ``exp``/``log_probs`` temporaries — the memory-bounded path for
+        production-size vocabularies.  Values match the dense path up
+        to floating-point reassociation.  To also avoid materializing
+        the logits themselves, use :func:`linear_cross_entropy`.
     """
     logits = as_tensor(logits)
     targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
@@ -543,21 +641,183 @@ def cross_entropy(logits, targets, ignore_index: Optional[int] = None) -> Tensor
     else:
         valid = np.ones_like(flat_targets, dtype=bool)
     count = max(int(valid.sum()), 1)
+    safe_targets = np.where(valid, flat_targets, 0)
+    rows = np.arange(flat_targets.shape[0])
+
+    num_classes = flat_logits.shape[1]
+    if chunk_size is not None and 0 < chunk_size < num_classes:
+        return _chunked_cross_entropy(
+            logits, flat_logits, safe_targets, valid, count, rows, int(chunk_size)
+        )
 
     shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
     log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
     log_probs = shifted - log_z
-    safe_targets = np.where(valid, flat_targets, 0)
-    picked = log_probs[np.arange(flat_targets.shape[0]), safe_targets]
+    picked = log_probs[rows, safe_targets]
     loss = -(picked * valid).sum() / count
 
     def backward(grad):
         soft = np.exp(log_probs)
-        soft[np.arange(flat_targets.shape[0]), safe_targets] -= 1.0
+        soft[rows, safe_targets] -= 1.0
         soft *= (valid / count)[:, None]
         return ((grad * soft).reshape(logits.shape).astype(logits.dtype, copy=False),)
 
     return _make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
+
+
+def _chunked_cross_entropy(
+    logits: Tensor,
+    flat_logits: np.ndarray,
+    safe_targets: np.ndarray,
+    valid: np.ndarray,
+    count: int,
+    rows: np.ndarray,
+    chunk_size: int,
+) -> Tensor:
+    """Streamed CE over materialized logits: no full-width temporaries.
+
+    Two chunked passes (row max, then ``sum(exp(..))``) replace the
+    dense path's full ``(R, V)`` ``shifted``/``exp``/``log_probs``
+    arrays; the backward writes each softmax chunk straight into the
+    gradient buffer.  Same mean-CE value as the dense path up to
+    summation order.
+    """
+    num_classes = flat_logits.shape[1]
+    row_max = flat_logits[:, :chunk_size].max(axis=1)
+    for c0 in range(chunk_size, num_classes, chunk_size):
+        np.maximum(row_max, flat_logits[:, c0 : c0 + chunk_size].max(axis=1), out=row_max)
+    sum_exp = np.zeros_like(row_max)
+    for c0 in range(0, num_classes, chunk_size):
+        chunk = flat_logits[:, c0 : c0 + chunk_size] - row_max[:, None]
+        np.exp(chunk, out=chunk)
+        sum_exp += chunk.sum(axis=1)
+    log_z = np.log(sum_exp)
+    picked = flat_logits[rows, safe_targets] - row_max - log_z
+    loss = -(picked * valid).sum() / count
+
+    def backward(grad):
+        out = np.empty_like(flat_logits)
+        shift = row_max + log_z
+        for c0 in range(0, num_classes, chunk_size):
+            sl = slice(c0, c0 + chunk_size)
+            np.subtract(flat_logits[:, sl], shift[:, None], out=out[:, sl])
+            np.exp(out[:, sl], out=out[:, sl])
+        out[rows, safe_targets] -= 1.0
+        out *= (grad * valid / count)[:, None]
+        return (out.reshape(logits.shape).astype(logits.dtype, copy=False),)
+
+    return _make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
+
+
+def linear_cross_entropy(
+    inputs,
+    weight,
+    targets,
+    chunk_size: Optional[int] = None,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Fused ``cross_entropy(inputs @ weight.T, targets)`` streamed by rows.
+
+    The production-vocabulary path for the prediction layer: logits
+    against a ``(V, d)`` class table are computed chunk-by-chunk with an
+    online (running-max) log-sum-exp, so the full ``(R, V)`` logits
+    matrix is **never materialized** — peak extra memory is one
+    ``(R, chunk_size)`` block.  The backward re-computes each chunk's
+    logits (one extra GEMM pass, the classic memory/compute trade) and
+    accumulates the input / weight gradients per chunk.
+
+    Parameters
+    ----------
+    inputs:
+        Tensor of shape ``(..., d)`` (user vectors).
+    weight:
+        Tensor of shape ``(V, d)``; class ``c`` scores against row
+        ``weight[c]`` (the natural layout of an embedding table).
+    targets, ignore_index:
+        As in :func:`cross_entropy`.
+    chunk_size:
+        Class-chunk width.  ``None`` (or ``>= V``) falls back to the
+        dense composition ``cross_entropy(matmul(inputs, weight.T))``,
+        which is byte-for-byte the historical prediction path.
+
+    Values match the dense path to floating-point reassociation
+    tolerance (the per-chunk GEMMs and the online normalizer sum in a
+    different order).
+    """
+    inputs, weight = as_tensor(inputs), as_tensor(weight)
+    num_classes = weight.shape[0]
+    if chunk_size is None or chunk_size >= num_classes:
+        return cross_entropy(
+            matmul(inputs, transpose(weight, (1, 0))), targets, ignore_index=ignore_index
+        )
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    dim = inputs.shape[-1]
+    x = inputs.data.reshape(-1, dim)
+    w = weight.data
+    flat_targets = targets.reshape(-1).astype(np.int64)
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    count = max(int(valid.sum()), 1)
+    safe_targets = np.where(valid, flat_targets, 0)
+    if safe_targets.size and (
+        int(safe_targets.min()) < 0 or int(safe_targets.max()) >= num_classes
+    ):
+        # The dense path would raise on the fancy-index gather; the
+        # chunked gather would silently skip out-of-range rows and
+        # train on uninitialized memory instead — fail loudly.
+        raise IndexError(
+            f"targets out of range for {num_classes} classes "
+            f"(got min {int(safe_targets.min())}, max {int(safe_targets.max())})"
+        )
+
+    # Online log-sum-exp over class chunks: one GEMM pass, running
+    # (max, scaled-sum) per row; the target logit is gathered from the
+    # single chunk that covers it.
+    row_max = np.full(x.shape[0], -np.inf, dtype=x.dtype)
+    sum_exp = np.zeros(x.shape[0], dtype=x.dtype)
+    picked = np.empty(x.shape[0], dtype=x.dtype)
+    for c0 in range(0, num_classes, chunk_size):
+        c1 = min(c0 + chunk_size, num_classes)
+        block = x @ w[c0:c1].T  # (R, C)
+        in_chunk = np.nonzero((safe_targets >= c0) & (safe_targets < c1))[0]
+        if in_chunk.size:
+            picked[in_chunk] = block[in_chunk, safe_targets[in_chunk] - c0]
+        new_max = np.maximum(row_max, block.max(axis=1))
+        sum_exp *= np.exp(row_max - new_max)
+        row_max = new_max
+        block -= row_max[:, None]
+        np.exp(block, out=block)
+        sum_exp += block.sum(axis=1)
+    log_z = np.log(sum_exp)  # log-sum-exp relative to the final row max
+    loss = -((picked - row_max - log_z) * valid).sum() / count
+
+    def backward(grad):
+        g_x = np.zeros_like(x)
+        g_w = np.zeros_like(w)
+        coef = (grad * valid / count).astype(x.dtype, copy=False)
+        shift = row_max + log_z
+        for c0 in range(0, num_classes, chunk_size):
+            c1 = min(c0 + chunk_size, num_classes)
+            block = x @ w[c0:c1].T
+            block -= shift[:, None]
+            np.exp(block, out=block)
+            in_chunk = np.nonzero((safe_targets >= c0) & (safe_targets < c1))[0]
+            if in_chunk.size:
+                block[in_chunk, safe_targets[in_chunk] - c0] -= 1.0
+            block *= coef[:, None]
+            g_x += block @ w[c0:c1]
+            g_w[c0:c1] = block.T @ x
+        return (
+            g_x.reshape(inputs.shape).astype(inputs.dtype, copy=False),
+            g_w.astype(weight.dtype, copy=False),
+        )
+
+    return _make(np.asarray(loss, dtype=inputs.dtype), (inputs, weight), backward)
 
 
 def binary_cross_entropy_with_logits(logits, targets) -> Tensor:
@@ -603,7 +863,12 @@ def embedding(weight, indices) -> Tensor:
 
 
 def dropout(
-    a, p: float, training: bool, rng: np.random.Generator, fast: Optional[bool] = None
+    a,
+    p: float,
+    training: bool,
+    rng: np.random.Generator,
+    fast: Optional[bool] = None,
+    views: Optional[int] = None,
 ) -> Tensor:
     """Inverted dropout; identity when not training or ``p == 0``.
 
@@ -625,6 +890,19 @@ def dropout(
 
     ``fast=None`` defers to the process-wide seed-compatibility flag
     (:func:`repro.autograd.workspace.set_fast_dropout_masks`).
+
+    ``views=V > 1`` (or an enclosing
+    :func:`repro.autograd.workspace.dropout_views` context, which
+    ``views=None`` defers to) declares the input a stack of ``V``
+    equal view blocks along the leading axis: the mask is drawn as
+    ``V`` consecutive per-block draws, so a stacked ``(V*B, ...)`` call
+    consumes ``rng`` exactly like ``V`` separate ``(B, ...)`` calls —
+    same per-view masks, in both mask modes.  (For the seed-compatible
+    path a contiguous ``(V*B, ...)`` draw already equals ``V``
+    consecutive block draws element-for-element; the explicit split
+    makes the contract independent of generator buffering and extends
+    it to the fast uint16 path, whose bit consumption is call-shaped.)
+    The leading axis must divide evenly by ``V``.
     """
     a = as_tensor(a)
     if not training or p <= 0.0:
@@ -634,13 +912,46 @@ def dropout(
     keep = 1.0 - p
     if fast is None:
         fast = fast_dropout_masks_enabled()
+    if views is None:
+        views = dropout_view_count()
+    if views > 1:
+        if a.ndim == 0 or a.shape[0] % views != 0:
+            raise ValueError(
+                f"dropout with {views} view streams needs a leading axis "
+                f"divisible by {views}, got shape {a.shape}"
+            )
+        block = a.shape[0] // views
+    # Per-view draws use a *view-sized* scratch buffer — the same
+    # workspace key the separate-pass (B, ...) sites use, so the
+    # stacked (V*B, ...) geometry and the single-view eval geometry
+    # share one cache-resident buffer instead of parking a full-size
+    # draw array per geometry.
     if fast:
         threshold = np.uint16(min(65535, int(round(keep * 65536.0))))
-        mask = rng.integers(0, 65536, size=a.shape, dtype=np.uint16) < threshold
+        if views > 1:
+            mask = np.empty(a.shape, dtype=bool)
+            view_shape = (block,) + a.shape[1:]
+            for v in range(views):
+                np.less(
+                    rng.integers(0, 65536, size=view_shape, dtype=np.uint16),
+                    threshold,
+                    out=mask[v * block : (v + 1) * block],
+                )
+        else:
+            mask = rng.integers(0, 65536, size=a.shape, dtype=np.uint16) < threshold
     else:
-        draw = get_workspace().scratch("dropout.draw", a.shape, np.float64)
-        rng.random(out=draw)
-        mask = draw < keep
+        if views > 1:
+            mask = np.empty(a.shape, dtype=bool)
+            draw = get_workspace().scratch(
+                "dropout.draw", (block,) + a.shape[1:], np.float64
+            )
+            for v in range(views):
+                rng.random(out=draw)
+                np.less(draw, keep, out=mask[v * block : (v + 1) * block])
+        else:
+            draw = get_workspace().scratch("dropout.draw", a.shape, np.float64)
+            rng.random(out=draw)
+            mask = draw < keep
     scale = a.dtype.type(1.0) / a.dtype.type(keep)
     out = a.data * mask
     out *= scale
@@ -664,18 +975,59 @@ def layer_norm(a, gamma, beta, eps: float = 1e-12) -> Tensor:
     """
     a, gamma, beta = as_tensor(a), as_tensor(gamma), as_tensor(beta)
     x = a.data
+    dim = x.shape[-1]
     mu = x.mean(axis=-1, keepdims=True)
     xc = x - mu
-    sq = xc * xc
-    inv_std = sq.mean(axis=-1, keepdims=True)
+    # Row sums of squares via einsum: one read of ``xc`` and no
+    # full-size squared buffer (a write+read of the whole array saved
+    # per call; summation-order differences vs the old ``(xc*xc).mean``
+    # land at float rounding).
+    xc2 = xc.reshape(-1, dim)
+    inv_std = np.einsum("ij,ij->i", xc2, xc2).reshape(mu.shape)
+    inv_std /= dim
     inv_std += eps
     np.sqrt(inv_std, out=inv_std)
     np.divide(1.0, inv_std, out=inv_std)
     x_hat = np.multiply(xc, inv_std, out=xc)  # xc is dead past this point
-    out = np.multiply(x_hat, gamma.data, out=sq)  # reuse the sq buffer
+    out = x_hat * gamma.data
     out += beta.data
 
     def backward(grad):
+        if gamma.data.ndim == 1 and beta.data.ndim == 1 and x.ndim >= 2:
+            # Folded path for the (..., d) affine case every model uses.
+            # One shared product buffer feeds both the gamma gradient
+            # (its batch-axis sum) and the variance-term row reduction;
+            # the two per-row means collapse into GEMVs against gamma
+            # (``(g·γ)·x̂`` summed over the feature axis is a dot with
+            # γ), replacing two full-array elementwise means — the old
+            # path's four separate reductions plus three full
+            # multiplies become two multiplies, two BLAS GEMVs and two
+            # batch-axis sums.
+            dim = x.shape[-1]
+            g2 = grad.reshape(-1, dim)
+            xh2 = x_hat.reshape(-1, dim)
+            prod = get_workspace().scratch(
+                "layer_norm.prod", g2.shape, np.result_type(grad, x_hat)
+            )
+            np.multiply(g2, xh2, out=prod)
+            g_gamma = prod.sum(axis=0)
+            g_beta = g2.sum(axis=0)
+            g_var_term = prod @ gamma.data  # rows of (g * x_hat) · gamma
+            g_var_term *= 1.0 / dim
+            g_mu_term = g2 @ gamma.data  # rows of (g * gamma) summed
+            g_mu_term *= 1.0 / dim
+            # ga = inv_std * (g*gamma - mean(g*gamma) - x_hat * g_var_term)
+            ga = np.multiply(g2, gamma.data)  # fresh (R, d), returned below
+            ga -= g_mu_term[:, None]
+            np.multiply(xh2, g_var_term[:, None], out=prod)
+            ga -= prod
+            ga *= inv_std.reshape(-1, 1)
+            return (
+                ga.reshape(x.shape).astype(x.dtype, copy=False),
+                g_gamma,
+                g_beta,
+            )
+        # Generic path (broadcast affine shapes, 1-D inputs).
         g_xhat = grad * gamma.data
         scratch = get_workspace().scratch(
             "layer_norm.scratch", x.shape, np.result_type(g_xhat, x_hat)

@@ -48,6 +48,11 @@ from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
 from repro.autograd.workspace import get_workspace
 
+try:  # pragma: no cover - exercised implicitly by every spectral test
+    import scipy.fft as _scipy_fft
+except ImportError:  # pragma: no cover - numpy fallback environments
+    _scipy_fft = None
+
 __all__ = [
     "num_frequency_bins",
     "spectral_filter",
@@ -94,6 +99,48 @@ def _mirror_weights(n: int, dtype=np.float64) -> np.ndarray:
     return w
 
 
+#: Cap (in bytes) on the real-signal operand of one numpy pocketfft
+#: call.  numpy's rfft/irfft stream the strided axis-1 transforms ~1.8x
+#: slower once the operand spills the L2 cache, so large batches — the
+#: stacked ``(3B, N, d)`` multi-view geometry in particular — are
+#: transformed in row blocks that stay cache-resident.  Each length-N
+#: transform is independent, so blocking is value-identical to one full
+#: call.  With the scipy backend (preferred when available: its pypocketfft
+#: computes float32 transforms natively in single precision, ~5x numpy's
+#: double-internal path at this geometry, and caches plan/twiddle state)
+#: full-width calls are already cache-clean, so blocking is numpy-only.
+_FFT_BLOCK_BYTES = 1 << 18
+
+
+def _fft_block_rows(shape: Tuple[int, ...], itemsize: int) -> int:
+    """Rows per blocked FFT call for a ``(rows, N, d)`` real operand."""
+    row_bytes = max(1, int(np.prod(shape[1:])) * itemsize)
+    return max(1, _FFT_BLOCK_BYTES // row_bytes)
+
+
+def _rfft(x: np.ndarray, m: int) -> np.ndarray:
+    """``rfft(x, axis=1)`` via scipy when available, blocked numpy otherwise."""
+    if _scipy_fft is not None:
+        return _scipy_fft.rfft(x, axis=1)
+    rows = x.shape[0]
+    block = _fft_block_rows(x.shape, x.dtype.itemsize)
+    if rows <= block:
+        return np.fft.rfft(x, axis=1)
+    out = np.empty(
+        (rows, m, x.shape[2]), dtype=np.result_type(x.dtype, np.complex64)
+    )
+    for i in range(0, rows, block):
+        out[i : i + block] = np.fft.rfft(x[i : i + block], axis=1)
+    return out
+
+
+def _irfft(spec: np.ndarray, n: int) -> np.ndarray:
+    """``irfft(spec, n, axis=1)`` on the same backend policy as :func:`_rfft`."""
+    if _scipy_fft is not None:
+        return _scipy_fft.irfft(spec, n=n, axis=1)
+    return np.fft.irfft(spec, n=n, axis=1)
+
+
 def _mul_into(a: np.ndarray, b: np.ndarray, tag: str) -> np.ndarray:
     """``a * b`` written into a shared workspace scratch buffer.
 
@@ -106,6 +153,55 @@ def _mul_into(a: np.ndarray, b: np.ndarray, tag: str) -> np.ndarray:
     if np.result_type(a, b) != a.dtype:
         return a * b
     return np.multiply(a, b, out=get_workspace().scratch(tag, a.shape, a.dtype))
+
+
+def _filtered_irfft(spectrum: np.ndarray, filt: np.ndarray, n: int, tag: str) -> np.ndarray:
+    """``irfft(spectrum * filt, n)`` with a cache-resident blocked product.
+
+    The full-size frequency product is never materialized: each row
+    block's ``spectrum * filt`` lands in a small workspace scratch that
+    stays hot for the immediately following blocked ``irfft`` — cutting
+    a full write+read of the ``(B, M, d)`` complex array per call.
+    Per-row results are identical to the unblocked form.
+    """
+    rows = spectrum.shape[0]
+    real_dtype = np.empty(0, dtype=spectrum.dtype).real.dtype
+    block = _fft_block_rows((rows, n, spectrum.shape[2]), real_dtype.itemsize)
+    if rows <= block or np.result_type(spectrum, filt) != spectrum.dtype:
+        return _irfft(_mul_into(spectrum, filt, tag), n)
+    out = np.empty((rows, n, spectrum.shape[2]), dtype=real_dtype)
+    ws = get_workspace()
+    for i in range(0, rows, block):
+        j = min(i + block, rows)
+        prod = np.multiply(
+            spectrum[i:j], filt, out=ws.scratch(tag, (j - i,) + spectrum.shape[1:], spectrum.dtype)
+        )
+        out[i:j] = _irfft(prod, n)
+    return out
+
+
+def _conj_mul_batch_sum(a: np.ndarray, b: np.ndarray, tag: str) -> np.ndarray:
+    """``(conj(a) * b).sum(axis=0)`` with a cache-resident blocked product.
+
+    Serves the filter-gradient reduction: only block-sized products are
+    materialized and each block's partial sum folds into a small
+    ``(M, d)`` accumulator.  Blockwise partial sums reassociate the
+    batch reduction (float-rounding-level differences only).
+    """
+    rows = a.shape[0]
+    real_itemsize = np.empty(0, dtype=a.dtype).real.dtype.itemsize
+    block = _fft_block_rows(a.shape, real_itemsize)
+    if rows <= block or np.result_type(a, b) != a.dtype:
+        return _conj_mul_into(a, b, tag).sum(axis=0)
+    acc = np.zeros(a.shape[1:], dtype=a.dtype)
+    ws = get_workspace()
+    for i in range(0, rows, block):
+        j = min(i + block, rows)
+        buf = ws.scratch(tag, (j - i,) + a.shape[1:], a.dtype)
+        np.conjugate(a[i:j], out=buf)
+        buf *= b[i:j]
+        acc += buf.sum(axis=0)
+    return acc
 
 
 def _conj_mul_into(a: np.ndarray, b: np.ndarray, tag: str) -> np.ndarray:
@@ -156,10 +252,8 @@ def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
         raise ValueError(f"mask must have {m} bins, got {mask.shape[0]}")
 
     filt = (w_real.data + 1j * w_imag.data) * mask  # (M, d) complex
-    spectrum = np.fft.rfft(x.data, axis=1)  # (B, M, d) complex
-    out = np.fft.irfft(_mul_into(spectrum, filt, "spectral.prod"), n=n, axis=1).astype(
-        x.dtype, copy=False
-    )
+    spectrum = _rfft(x.data, m)  # (B, M, d) complex
+    out = _filtered_irfft(spectrum, filt, n, "spectral.prod").astype(x.dtype, copy=False)
 
     if not (
         is_grad_enabled()
@@ -170,15 +264,15 @@ def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
     mirror = _mirror_weights(n, x.dtype)[:, None]  # (M, 1)
 
     def backward(grad):
-        grad_spec = np.fft.rfft(grad, axis=1)  # (B, M, d)
-        gx = np.fft.irfft(
-            _mul_into(grad_spec, np.conj(filt), "spectral.gprod"), n=n, axis=1
-        ).astype(x.dtype, copy=False)
+        grad_spec = _rfft(grad, m)  # (B, M, d)
+        gx = _filtered_irfft(grad_spec, np.conj(filt), n, "spectral.gprod").astype(
+            x.dtype, copy=False
+        )
         # dW accumulated over the batch; mirror weights fold in the
-        # conjugate-symmetric half of the full spectrum.  The product
-        # reuses the grad-side scratch buffer (its previous contents
-        # were consumed by the irfft above).
-        dw = _conj_mul_into(spectrum, grad_spec, "spectral.gprod").sum(axis=0) * (mirror / n)
+        # conjugate-symmetric half of the full spectrum.  The blocked
+        # product reuses the grad-side scratch buffer (its previous
+        # contents were consumed by the irfft above).
+        dw = _conj_mul_batch_sum(spectrum, grad_spec, "spectral.gprod") * (mirror / n)
         dw = dw * mask  # gradient only flows inside the band
         dw_real = dw.real.astype(x.dtype, copy=False)
         dw_imag = dw.imag.astype(x.dtype, copy=False)
@@ -282,10 +376,8 @@ def spectral_filter_mixed(
     elif filt.shape != dfs_real.shape:
         raise ValueError(f"cached filter shape {filt.shape} does not match {dfs_real.shape}")
 
-    spectrum = np.fft.rfft(x.data, axis=1)  # (B, M, d) complex
-    out = np.fft.irfft(_mul_into(spectrum, filt, "spectral.prod"), n=n, axis=1).astype(
-        x.dtype, copy=False
-    )
+    spectrum = _rfft(x.data, m)  # (B, M, d) complex
+    out = _filtered_irfft(spectrum, filt, n, "spectral.prod").astype(x.dtype, copy=False)
 
     params = (dfs_real, dfs_imag, sfs_real, sfs_imag)
     if not (
@@ -297,13 +389,14 @@ def spectral_filter_mixed(
     mirror = _mirror_weights(n, x.dtype)[:, None]  # (M, 1)
 
     def backward(grad):
-        grad_spec = np.fft.rfft(grad, axis=1)  # (B, M, d)
-        gx = np.fft.irfft(
-            _mul_into(grad_spec, np.conj(filt), "spectral.gprod"), n=n, axis=1
-        ).astype(x.dtype, copy=False)
-        # One batch-summed spectrum product serves both branches; it
-        # reuses the grad-side scratch (consumed by the irfft above).
-        base = _conj_mul_into(spectrum, grad_spec, "spectral.gprod").sum(axis=0) * (mirror / n)
+        grad_spec = _rfft(grad, m)  # (B, M, d)
+        gx = _filtered_irfft(grad_spec, np.conj(filt), n, "spectral.gprod").astype(
+            x.dtype, copy=False
+        )
+        # One batch-summed spectrum product serves both branches; the
+        # blocked product reuses the grad-side scratch (each block is
+        # consumed by the irfft above before the sum re-fills it).
+        base = _conj_mul_batch_sum(spectrum, grad_spec, "spectral.gprod") * (mirror / n)
         grads = [gx]
         for weight, mask in ((1.0 - gamma, dfs_mask), (gamma, sfs_mask)):
             dw = base * (weight * mask)

@@ -72,6 +72,9 @@ __all__ = [
     "set_fast_dropout_masks",
     "fast_dropout_masks_enabled",
     "fast_dropout_masks",
+    "set_dropout_view_count",
+    "dropout_view_count",
+    "dropout_views",
 ]
 
 
@@ -259,3 +262,51 @@ def fast_dropout_masks(enabled: bool = True):
         yield
     finally:
         set_fast_dropout_masks(previous)
+
+
+# ----------------------------------------------------------------------
+# Dropout view streams: per-view mask draws for stacked multi-view passes
+# ----------------------------------------------------------------------
+#
+# The contrastive objectives encode V views of a batch per step.  When
+# the views are stacked along the batch axis into one ``(V*B, N, d)``
+# pass, every dropout site must still draw the *same* per-view masks
+# that V separate ``(B, N, d)`` passes would have drawn from its
+# generator — otherwise the stacked fast path is a different stochastic
+# model, not an optimization.  The view count below tells
+# :func:`repro.autograd.functional.dropout` to split its mask draw into
+# V consecutive per-view draws along the leading axis, exactly matching
+# the V-pass stream consumption in both the seed-compatible and the
+# fast mask modes.  Thread-local like the workspace itself: the count
+# is per-forward-call state scoped by the ``dropout_views`` context.
+
+
+def set_dropout_view_count(count: int) -> int:
+    """Set the calling thread's dropout view count; returns the previous one.
+
+    ``1`` (the default) is the ordinary single-view draw.  ``V > 1``
+    makes every dropout site split its leading axis into ``V`` equal
+    view blocks and draw each block's mask separately from its
+    generator — the contract stacked multi-view encodes rely on.
+    """
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"dropout view count must be >= 1, got {count}")
+    previous = getattr(_tls, "dropout_views", 1)
+    _tls.dropout_views = count
+    return previous
+
+
+def dropout_view_count() -> int:
+    """The calling thread's current dropout view count (default 1)."""
+    return getattr(_tls, "dropout_views", 1)
+
+
+@contextlib.contextmanager
+def dropout_views(count: int):
+    """Scope a dropout view count over one stacked multi-view forward."""
+    previous = set_dropout_view_count(count)
+    try:
+        yield
+    finally:
+        set_dropout_view_count(previous)

@@ -5,7 +5,10 @@ views: each sequence is augmented twice by a random choice of crop,
 mask or reorder, and the two views are positives under InfoNCE.
 
 All three encodes per step (original + two augmented views) run on the
-fused attention fast path (:mod:`repro.nn.attention`).
+fused attention fast path (:mod:`repro.nn.attention`); with
+``batched_views`` (the default) they are additionally stacked into one
+``(3B, N, d)`` forward with per-view dropout streams
+(:meth:`~repro.core.encoder.SequentialEncoderBase.encode_views`).
 """
 
 from __future__ import annotations
@@ -22,7 +25,34 @@ from repro.data.augmentation import crop_sequence, mask_sequence, reorder_sequen
 from repro.data.batching import Batch
 from repro.data.preprocess import pad_or_truncate
 
-__all__ = ["CL4SRec"]
+__all__ = ["CL4SRec", "augmented_contrastive_loss"]
+
+
+def augmented_contrastive_loss(model, batch: Batch) -> Tensor:
+    """Shared CE + InfoNCE objective over two augmented views.
+
+    Used by the CL4SRec-style models (CL4SRec, CoSeRec) whose views
+    come from index-level augmentation: the model must expose
+    ``cl_weight``, ``cl_temperature``, ``batched_views``,
+    ``_augment_batch`` and ``_user``.  With ``batched_views`` the
+    original batch and both augmented views run as one stacked
+    ``(3B, N, d)`` walk (:meth:`~repro.core.encoder.SequentialEncoderBase.encode_views`);
+    otherwise the sequential three-pass reference.  Both augment in the
+    same ``_aug_rng`` order, so the two paths see identical views.
+    """
+    if model.cl_weight <= 0.0:
+        return model.recommendation_loss(batch.input_ids, batch.targets)
+    if model.batched_views:
+        aug_a = model._augment_batch(batch.input_ids)
+        aug_b = model._augment_batch(batch.input_ids)
+        user, view_a, view_b = model.encode_views((batch.input_ids, aug_a, aug_b))
+        rec = model.prediction_loss(user, batch.targets)
+    else:
+        rec = model.recommendation_loss(batch.input_ids, batch.targets)
+        view_a = model._user(model._augment_batch(batch.input_ids))
+        view_b = model._user(model._augment_batch(batch.input_ids))
+    cl = info_nce_loss(view_a, view_b, temperature=model.cl_temperature)
+    return F.add(rec, F.mul(cl, model.cl_weight))
 
 
 class CL4SRec(SASRec):
@@ -38,6 +68,7 @@ class CL4SRec(SASRec):
         aug_ratio: float = 0.6,
         embed_dropout: float = 0.3,
         hidden_dropout: float = 0.3,
+        batched_views: bool = True,
         seed: int = 0,
         dtype=None,
     ) -> None:
@@ -55,6 +86,7 @@ class CL4SRec(SASRec):
         self.cl_weight = cl_weight
         self.cl_temperature = cl_temperature
         self.aug_ratio = aug_ratio
+        self.batched_views = batched_views
         # The mask augmentation uses item id 0 (padding) as the blank,
         # following the original which adds a dedicated mask item.
         self._aug_rng = np.random.default_rng(seed + 12)
@@ -81,10 +113,4 @@ class CL4SRec(SASRec):
 
     # ------------------------------------------------------------------
     def loss(self, batch: Batch) -> Tensor:
-        rec = self.recommendation_loss(batch.input_ids, batch.targets)
-        if self.cl_weight <= 0.0:
-            return rec
-        view_a = self._user(self._augment_batch(batch.input_ids))
-        view_b = self._user(self._augment_batch(batch.input_ids))
-        cl = info_nce_loss(view_a, view_b, temperature=self.cl_temperature)
-        return F.add(rec, F.mul(cl, self.cl_weight))
+        return augmented_contrastive_loss(self, batch)

@@ -6,8 +6,11 @@ them their most co-occurrence-correlated neighbours, producing harder
 but semantically consistent positive views.
 
 Like CL4SRec, every encode runs on the fused attention fast path
-(:mod:`repro.nn.attention`); the augmentation itself is index-level
-work outside the autograd graph.
+(:mod:`repro.nn.attention`), and with ``batched_views`` (the default)
+the step's three encodes stack into one ``(3B, N, d)`` forward with
+per-view dropout streams
+(:meth:`~repro.core.encoder.SequentialEncoderBase.encode_views`); the
+augmentation itself is index-level work outside the autograd graph.
 """
 
 from __future__ import annotations
@@ -18,8 +21,8 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
+from repro.baselines.cl4srec import augmented_contrastive_loss
 from repro.baselines.sasrec import SASRec
-from repro.core.contrastive import info_nce_loss
 from repro.data.augmentation import ItemCorrelation, insert_sequence, substitute_sequence
 from repro.data.batching import Batch
 from repro.data.dataset import SequenceDataset
@@ -41,6 +44,7 @@ class CoSeRec(SASRec):
         aug_ratio: float = 0.3,
         embed_dropout: float = 0.3,
         hidden_dropout: float = 0.3,
+        batched_views: bool = True,
         seed: int = 0,
         dtype=None,
     ) -> None:
@@ -58,6 +62,7 @@ class CoSeRec(SASRec):
         self.cl_weight = cl_weight
         self.cl_temperature = cl_temperature
         self.aug_ratio = aug_ratio
+        self.batched_views = batched_views
         self._aug_rng = np.random.default_rng(seed + 13)
         self._correlation: ItemCorrelation | None = None
 
@@ -85,10 +90,4 @@ class CoSeRec(SASRec):
 
     # ------------------------------------------------------------------
     def loss(self, batch: Batch) -> Tensor:
-        rec = self.recommendation_loss(batch.input_ids, batch.targets)
-        if self.cl_weight <= 0.0:
-            return rec
-        view_a = self._user(self._augment_batch(batch.input_ids))
-        view_b = self._user(self._augment_batch(batch.input_ids))
-        cl = info_nce_loss(view_a, view_b, temperature=self.cl_temperature)
-        return F.add(rec, F.mul(cl, self.cl_weight))
+        return augmented_contrastive_loss(self, batch)

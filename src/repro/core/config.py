@@ -60,6 +60,22 @@ class SlimeConfig:
         0 disables contrastive learning (the w/oC variant).
     cl_temperature:
         Softmax temperature of the InfoNCE objective.
+    batched_views:
+        When True (the default) the three contrastive encodes of each
+        training step (main pass, dropout view, same-target view) run
+        as **one** stacked ``(3B, N, d)`` forward with per-view dropout
+        streams — the same stochastic model as three separate passes
+        (identical masks per seed, float64 losses equal to
+        reassociation tolerance) at ~1/3 the python/op count.
+        ``False`` keeps the reference three-pass path for equivalence
+        testing; runs with ``noise_eps > 0`` fall back to it
+        automatically (the noise scale couples the views).
+    ce_chunk_size:
+        Class-chunk width for the prediction cross-entropy.  ``None``
+        keeps the dense ``(B, V+1)`` logits GEMM+softmax; a positive
+        value streams the loss over the item table in chunks of this
+        many rows without materializing the full logits matrix
+        (production-size catalogs).
     noise_eps:
         When positive, uniform noise of this relative magnitude is
         injected into every layer input (the Figure 6 robustness knob).
@@ -91,6 +107,8 @@ class SlimeConfig:
     hidden_dropout: float = 0.3
     cl_weight: float = 0.1
     cl_temperature: float = 1.0
+    batched_views: bool = True
+    ce_chunk_size: int | None = None
     noise_eps: float = 0.0
     seed: int = 0
     dtype: str | None = None
@@ -111,6 +129,10 @@ class SlimeConfig:
             raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
         if self.num_layers < 1:
             raise ValueError("num_layers must be >= 1")
+        if self.ce_chunk_size is not None and self.ce_chunk_size < 1:
+            raise ValueError(
+                f"ce_chunk_size must be >= 1 or None, got {self.ce_chunk_size}"
+            )
         if not (self.use_dfs or self.use_sfs):
             raise ValueError("at least one of use_dfs/use_sfs must be enabled")
         if isinstance(self.slide_mode, int):

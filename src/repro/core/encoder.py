@@ -31,6 +31,7 @@ from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor, no_grad
 from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, Module
 from repro.nn import init as nn_init
+from repro.nn.workspace import dropout_views
 
 __all__ = ["SequentialEncoderBase", "PointwiseFeedForward"]
 
@@ -105,6 +106,13 @@ class SequentialEncoderBase(Module):
         self.hidden_dim = hidden_dim
         self.noise_eps = noise_eps
         self.dtype = dtype
+        #: Class-chunk width for the prediction-layer cross-entropy.
+        #: ``None`` keeps the dense GEMM+softmax; a positive value makes
+        #: :meth:`prediction_loss` stream over the ``V+1`` item table in
+        #: chunks of this many rows (see
+        #: :func:`repro.autograd.functional.linear_cross_entropy`), the
+        #: memory-bounded path for production-size catalogs.
+        self.ce_chunk_size: int | None = None
         self._noise_rng = np.random.default_rng(seed + 104729)
         self.item_embedding = Embedding(
             num_items + 1 + extra_tokens, hidden_dim, padding_idx=0, rng=rng, dtype=dtype
@@ -148,6 +156,47 @@ class SequentialEncoderBase(Module):
         states = self.encode_states(input_ids)
         return F.getitem(states, (slice(None), -1))
 
+    def encode_views(self, view_inputs) -> tuple:
+        """Encode several same-shape input batches in one stacked pass.
+
+        The contrastive objectives encode ``V`` views of each training
+        batch per step (main pass, dropout view, same-target or
+        augmented views).  This helper concatenates the ``(B, N)``
+        view inputs into one ``(V*B, N)`` batch, runs a **single**
+        :meth:`encode_states` graph walk over it, and returns one
+        ``(B, d)`` last-state user tensor per view — cutting the
+        python/op count of the dominant training cost ~``V``-fold while
+        fattening every GEMM and FFT.
+
+        Inside the pass every dropout site draws its masks **per
+        view** (:func:`repro.nn.workspace.dropout_views`), consuming
+        each generator exactly like ``V`` separate passes would, so
+        the stacked encode is the same stochastic model as the
+        sequential one: per-view masks identical, float64 losses equal
+        to the unbatched path to reassociation tolerance.
+
+        Not valid under the Figure-6 noise protocol: ``inject_noise``
+        scales by the *whole-batch* std, which would couple the views;
+        callers gate on ``noise_eps <= 0`` and fall back to separate
+        passes (see ``Slime4Rec.loss``).
+        """
+        arrays = [np.asarray(v) for v in view_inputs]
+        if len(arrays) < 2:
+            raise ValueError("encode_views needs at least two views")
+        if any(arr.shape != arrays[0].shape for arr in arrays[1:]):
+            raise ValueError(
+                f"all views must share one shape, got {[a.shape for a in arrays]}"
+            )
+        batch = arrays[0].shape[0]
+        stacked = np.concatenate(arrays, axis=0)
+        with dropout_views(len(arrays)):
+            states = self.encode_states(stacked)
+        user = F.getitem(states, (slice(None), -1))  # (V*B, d)
+        return tuple(
+            F.getitem(user, slice(i * batch, (i + 1) * batch))
+            for i in range(len(arrays))
+        )
+
     def logits(self, input_ids: np.ndarray) -> Tensor:
         """Scores over the full vocabulary: ``h @ M_V^T`` (Eq. 31)."""
         user = self.user_representation(input_ids)
@@ -184,9 +233,24 @@ class SequentialEncoderBase(Module):
             return self.user_representation(input_ids).data @ context
         return self.logits(input_ids).data
 
+    def prediction_loss(self, user: Tensor, targets: np.ndarray) -> Tensor:
+        """Eq. 31-32 from precomputed user vectors: score table GEMM + CE.
+
+        Honors :attr:`ce_chunk_size`: when set, the GEMM+softmax stream
+        over the item table in row chunks via
+        :func:`repro.autograd.functional.linear_cross_entropy` instead
+        of materializing the full ``(B, V+1)`` logits matrix.
+        """
+        if self.ce_chunk_size:
+            return F.linear_cross_entropy(
+                user, self._score_table(), targets, chunk_size=self.ce_chunk_size
+            )
+        table = F.transpose(self._score_table(), (1, 0))
+        return F.cross_entropy(F.matmul(user, table), targets)
+
     def recommendation_loss(self, input_ids: np.ndarray, targets: np.ndarray) -> Tensor:
         """Cross-entropy over the full softmax (Eq. 32)."""
-        return F.cross_entropy(self.logits(input_ids), targets)
+        return self.prediction_loss(self.user_representation(input_ids), targets)
 
     # Default training objective; contrastive models override.
     def loss(self, batch) -> Tensor:

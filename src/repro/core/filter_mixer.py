@@ -173,6 +173,7 @@ class FilterMixerLayer(Module):
         filtered = self.mix_spectra(x)
         # Eq. 28: residual + dropout + LayerNorm.
         hidden = self.filter_norm(F.add(x, self.filter_dropout(filtered)))
-        # Eqs. 29-30: FFN with densely-residual LayerNorm.
+        # Eqs. 29-30: FFN with densely-residual LayerNorm.  The triple
+        # residual runs as one fused add node (bitwise the chained sum).
         ffn_out = self.ffn(hidden)
-        return self.ffn_norm(F.add(F.add(x, hidden), self.ffn_dropout(ffn_out)))
+        return self.ffn_norm(F.add3(x, hidden, self.ffn_dropout(ffn_out)))

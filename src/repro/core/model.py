@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autograd import functional as F
 from repro.autograd.spectral import num_frequency_bins
 from repro.autograd.tensor import Tensor
 from repro.core.config import SlimeConfig
@@ -46,6 +47,7 @@ class Slime4Rec(SequentialEncoderBase):
             dtype=config.dtype,
         )
         self.config = config
+        self.ce_chunk_size = config.ce_chunk_size
         rng = np.random.default_rng(config.seed + 2)
         m = num_frequency_bins(config.max_len)
         dfs_masks, sfs_masks = ramp_masks(
@@ -96,31 +98,31 @@ class Slime4Rec(SequentialEncoderBase):
     def loss(self, batch: Batch) -> Tensor:
         """Joint objective of Eq. 36.
 
-        The recommendation term reuses the first forward pass; when
-        contrastive learning is enabled the same inputs are encoded a
-        second time (different dropout masks -> the unsupervised view
-        ``h'``) and the same-target positives once (the supervised view
-        ``h'_s``).
+        When contrastive learning is enabled the step needs three
+        encodes of the batch: the main pass (recommendation term), the
+        same inputs under fresh dropout masks (the unsupervised view
+        ``h'``), and the same-target positives (the supervised view
+        ``h'_s``).  With ``config.batched_views`` (the default) all
+        three run as **one** stacked ``(3B, N, d)`` graph walk with
+        per-view dropout streams (:meth:`encode_views`); the reference
+        path encodes them sequentially — same masks per seed, same
+        losses to float64 reassociation tolerance.
         """
-        states = self.encode_states(batch.input_ids)
-        user = _last_state(states)
-        rec_loss = self._rec_loss_from_user(user, batch.targets)
         if self.config.cl_weight <= 0.0 or batch.positive_ids is None:
-            return rec_loss
+            states = self.encode_states(batch.input_ids)
+            return self.prediction_loss(_last_state(states), batch.targets)
 
-        unsup_view = _last_state(self.encode_states(batch.input_ids))
-        sup_view = _last_state(self.encode_states(batch.positive_ids))
+        if self.config.batched_views and self.noise_eps <= 0.0:
+            user, unsup_view, sup_view = self.encode_views(
+                (batch.input_ids, batch.input_ids, batch.positive_ids)
+            )
+        else:
+            user = _last_state(self.encode_states(batch.input_ids))
+            unsup_view = _last_state(self.encode_states(batch.input_ids))
+            sup_view = _last_state(self.encode_states(batch.positive_ids))
+        rec_loss = self.prediction_loss(user, batch.targets)
         cl = info_nce_loss(unsup_view, sup_view, temperature=self.config.cl_temperature)
-        from repro.autograd import functional as F
-
         return F.add(rec_loss, F.mul(cl, self.config.cl_weight))
-
-    def _rec_loss_from_user(self, user: Tensor, targets: np.ndarray) -> Tensor:
-        from repro.autograd import functional as F
-
-        table = F.transpose(self._score_table(), (1, 0))
-        logits = F.matmul(user, table)
-        return F.cross_entropy(logits, targets)
 
     # ------------------------------------------------------------------
     def filter_amplitudes(self) -> dict:
@@ -141,6 +143,4 @@ class Slime4Rec(SequentialEncoderBase):
 
 
 def _last_state(states: Tensor) -> Tensor:
-    from repro.autograd import functional as F
-
     return F.getitem(states, (slice(None), -1))

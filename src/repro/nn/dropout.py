@@ -12,8 +12,12 @@ into a reusable buffer, bitwise-faithful to the seed implementation.
 ``fast_dropout_masks()`` context manager) switches every dropout site
 in the process to cheap uint16 threshold masks — same distribution up
 to a 1/65536 quantization of the keep probability, different stochastic
-realization per seed.  See :func:`repro.autograd.functional.dropout`
-for the exact contract.
+realization per seed.  Inside a
+:func:`repro.nn.workspace.dropout_views` context (the stacked
+multi-view contrastive encode) the mask is drawn as one per-view block
+draw per view, so a ``(V*B, N, d)`` call consumes this layer's
+generator exactly like ``V`` separate ``(B, N, d)`` calls.  See
+:func:`repro.autograd.functional.dropout` for the exact contract.
 """
 
 from __future__ import annotations

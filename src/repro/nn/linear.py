@@ -58,10 +58,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros(out_features, dtype=dtype), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = F.matmul(x, self.weight)
-        if self.bias is not None:
-            out = F.add(out, self.bias)
-        return out
+        return F.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"

@@ -20,6 +20,13 @@ subsystem that backs the training hot paths:
   (:func:`set_fast_dropout_masks` / :func:`fast_dropout_masks`): opt-in
   cheap mask generation for throughput runs that do not need
   bitwise-reproducible stochasticity.
+- **Dropout view streams** (:func:`dropout_views` /
+  :func:`set_dropout_view_count`): inside the context every dropout
+  site splits its leading axis into ``V`` view blocks and draws each
+  block's mask separately, so a stacked ``(V*B, N, d)`` multi-view
+  encode consumes each generator exactly like ``V`` separate
+  ``(B, N, d)`` passes would (the contract behind
+  :meth:`repro.core.encoder.SequentialEncoderBase.encode_views`).
 
 Typical uses::
 
@@ -44,10 +51,13 @@ measured effect in ``docs/PERFORMANCE.md``.
 from repro.autograd.workspace import (
     ParamCache,
     StepWorkspace,
+    dropout_view_count,
+    dropout_views,
     fast_dropout_masks,
     fast_dropout_masks_enabled,
     get_workspace,
     reset_workspace,
+    set_dropout_view_count,
     set_fast_dropout_masks,
 )
 
@@ -59,4 +69,7 @@ __all__ = [
     "set_fast_dropout_masks",
     "fast_dropout_masks_enabled",
     "fast_dropout_masks",
+    "set_dropout_view_count",
+    "dropout_view_count",
+    "dropout_views",
 ]
