@@ -112,6 +112,35 @@ def test_train_step_chunked_ce(benchmark, setup):
     assert np.isfinite(result)
 
 
+@pytest.mark.parametrize("sampling", ["uniform", "log_uniform"])
+def test_train_step_sampled_softmax(benchmark, setup, sampling):
+    """Float32 SLIME4Rec step with sampled-softmax training (K=128).
+
+    At the smoke geometry's small catalog this mostly measures the
+    overhead floor; the catalog-scaling comparison against the chunked
+    full-catalog CE lives in ``bench_sampled_softmax.py`` (committed
+    record ``benchmarks/results/sampled_softmax_step_time.json``).
+    """
+    dataset = setup
+    model = build_baseline(
+        "SLIME4Rec", dataset, hidden_dim=64, seed=0, dtype="float32",
+        train_num_negatives=128, negative_sampling=sampling,
+    )
+    iterator = BatchIterator(dataset, batch_size=128, with_same_target=True, seed=0)
+    batch = next(iter(iterator.epoch()))
+    optimizer = Adam(model.parameters())
+
+    def step():
+        optimizer.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
 @pytest.mark.parametrize("name", ["SLIME4Rec", "SASRec"])
 def test_train_step_throughput_fast_masks(benchmark, setup, name):
     """Float32 step time with the fast (non-seed-compatible) dropout masks."""

@@ -16,7 +16,9 @@ time, eval time), building the per-PR step-time record the ROADMAP
 asks for.  Set ``PERF_SMOKE_NO_RECORD=1`` to skip the append.
 
 Once that history holds **at least 3 matching records** for a dtype
-(same model/geometry), the check also compares the measured step time
+(same model/geometry *and* loss variant — records tagged with another
+``variant``, e.g. the sampled-CE benchmark's, never mix into this
+script's ``"default"`` median), the check also compares the measured step time
 against the rolling median of the most recent ones and fails on a
 >1.3x regression — a much tighter bound than the static budgets, while
 still noise-tolerant (the median spans several PRs, and a failing
@@ -67,14 +69,23 @@ STEPS = 5
 HISTORY_WINDOW = 7
 HISTORY_MIN_RECORDS = 3
 
+#: Variant of the records this script measures and gates on.  Other
+#: benchmarks (e.g. ``bench_sampled_softmax.py``) append records with
+#: their own variant tag to the same history file; the median gate
+#: compares strictly within one variant, never across.
+DEFAULT_VARIANT = "default"
 
-def _history_median(dtype: str) -> tuple:
+
+def _history_median(dtype: str, variant: str = DEFAULT_VARIANT) -> tuple:
     """Median ``step_ms`` of recent history records matching this config.
 
     Returns ``(median, count)``; ``(None, count)`` when fewer than
     ``HISTORY_MIN_RECORDS`` comparable records exist.  Only records
-    whose dtype *and* full geometry match count — a record taken at a
-    different batch size or model is not a baseline.
+    whose dtype, *variant* and full geometry match count — a record
+    taken at a different batch size or model, or under a different loss
+    variant (sampled-CE vs the default full softmax), is not a
+    baseline.  Records predating the variant field count as
+    ``"default"``.
     """
     if not HISTORY_PATH.exists():
         return None, 0
@@ -88,6 +99,8 @@ def _history_median(dtype: str) -> tuple:
         except json.JSONDecodeError:
             continue
         if rec.get("dtype") != dtype:
+            continue
+        if rec.get("variant", DEFAULT_VARIANT) != variant:
             continue
         if any(rec.get(key) != value for key, value in GEOMETRY.items()):
             continue
@@ -214,6 +227,7 @@ def main() -> int:
             "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
             "git": _git_revision(),
             "dtype": dtype,
+            "variant": DEFAULT_VARIANT,
             "step_ms": round(m["step_ms"], 2),
             "eval_s": round(m["eval_s"], 3),
             **GEOMETRY,

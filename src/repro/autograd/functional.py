@@ -38,6 +38,7 @@ __all__ = [
     "transpose",
     "sum", "mean", "var", "getitem", "concat", "stack", "pad_axis",
     "softmax", "log_softmax", "cross_entropy", "linear_cross_entropy",
+    "sampled_softmax_loss",
     "embedding", "dropout",
     "layer_norm", "where", "maximum", "clip", "masked_fill", "sum_to",
     "binary_cross_entropy_with_logits", "logsigmoid", "l2_normalize",
@@ -628,9 +629,13 @@ def cross_entropy(
         chunks of this width instead of materializing full-size
         ``exp``/``log_probs`` temporaries — the memory-bounded path for
         production-size vocabularies.  Values match the dense path up
-        to floating-point reassociation.  To also avoid materializing
-        the logits themselves, use :func:`linear_cross_entropy`.
+        to floating-point reassociation.  ``chunk_size >= num_classes``
+        clamps to a single chunk (the dense path); ``chunk_size <= 0``
+        raises.  To also avoid materializing the logits themselves, use
+        :func:`linear_cross_entropy`.
     """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1 or None, got {chunk_size}")
     logits = as_tensor(logits)
     targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
     flat_logits = logits.data.reshape(-1, logits.shape[-1])
@@ -645,7 +650,7 @@ def cross_entropy(
     rows = np.arange(flat_targets.shape[0])
 
     num_classes = flat_logits.shape[1]
-    if chunk_size is not None and 0 < chunk_size < num_classes:
+    if chunk_size is not None and chunk_size < num_classes:
         return _chunked_cross_entropy(
             logits, flat_logits, safe_targets, valid, count, rows, int(chunk_size)
         )
@@ -736,22 +741,23 @@ def linear_cross_entropy(
     targets, ignore_index:
         As in :func:`cross_entropy`.
     chunk_size:
-        Class-chunk width.  ``None`` (or ``>= V``) falls back to the
-        dense composition ``cross_entropy(matmul(inputs, weight.T))``,
-        which is byte-for-byte the historical prediction path.
+        Class-chunk width.  ``None`` (or ``>= V``, which clamps to one
+        chunk) falls back to the dense composition
+        ``cross_entropy(matmul(inputs, weight.T))``, which is
+        byte-for-byte the historical prediction path; ``<= 0`` raises.
 
     Values match the dense path to floating-point reassociation
     tolerance (the per-chunk GEMMs and the online normalizer sum in a
     different order).
     """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1 or None, got {chunk_size}")
     inputs, weight = as_tensor(inputs), as_tensor(weight)
     num_classes = weight.shape[0]
     if chunk_size is None or chunk_size >= num_classes:
         return cross_entropy(
             matmul(inputs, transpose(weight, (1, 0))), targets, ignore_index=ignore_index
         )
-    if chunk_size < 1:
-        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
 
     targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
     dim = inputs.shape[-1]
@@ -812,6 +818,164 @@ def linear_cross_entropy(
             block *= coef[:, None]
             g_x += block @ w[c0:c1]
             g_w[c0:c1] = block.T @ x
+        return (
+            g_x.reshape(inputs.shape).astype(inputs.dtype, copy=False),
+            g_w.astype(weight.dtype, copy=False),
+        )
+
+    return _make(np.asarray(loss, dtype=inputs.dtype), (inputs, weight), backward)
+
+
+def sampled_softmax_loss(
+    inputs,
+    weight,
+    targets,
+    num_negatives: Optional[int] = None,
+    sampler=None,
+    negatives: Optional[np.ndarray] = None,
+    neg_log_q: Optional[np.ndarray] = None,
+    target_log_q: Optional[np.ndarray] = None,
+    logq_correction: bool = True,
+    remove_accidental_hits: bool = True,
+    ignore_index: Optional[int] = None,
+) -> Tensor:
+    """Sampled softmax: CE over the positive plus ``K`` drawn negatives.
+
+    The compute-bounded counterpart of :func:`linear_cross_entropy` for
+    huge catalogs: instead of streaming the full ``(R, V)`` logits, each
+    row scores only its **positive class** and a **shared set of K
+    sampled negatives**, so the prediction-layer cost drops from
+    ``O(R·V·d)`` to ``O((R + K)·d + R·K·d)`` per step and never touches
+    a ``(R, V)``-shaped buffer in either direction (Jean et al. 2015;
+    the TF ``sampled_softmax_loss`` formulation).
+
+    Parameters
+    ----------
+    inputs:
+        Tensor of shape ``(..., d)`` (user vectors).
+    weight:
+        Tensor of shape ``(V, d)``; class ``c`` scores against row
+        ``weight[c]`` (the natural layout of an embedding table).
+    targets, ignore_index:
+        As in :func:`cross_entropy`.
+    num_negatives, sampler:
+        Draw ``num_negatives`` candidate ids from ``sampler`` (a
+        :class:`repro.data.negative_sampling.NegativeSampler`, drawn
+        *with replacement* and shared across the batch — the standard
+        shared-candidate scheme, one ``(K, d)`` gather and one
+        ``(R, K)`` GEMM per step).
+    negatives:
+        Alternatively, an explicit 1-D int array of candidate row ids
+        (used by deterministic tests; overrides ``sampler``).
+    neg_log_q, target_log_q:
+        Explicit ``log q`` values when ``negatives`` is given without a
+        ``sampler``.
+    logq_correction:
+        Subtract each candidate's log proposal probability from its
+        logit (positives included) — the classic correction that makes
+        the sampled softmax consistent for the full softmax under the
+        proposal distribution.  For a uniform proposal the correction
+        is a constant shift and provably cancels in the softmax.
+    remove_accidental_hits:
+        Mask (to ``-inf``) sampled candidates that collide with a row's
+        own target, so a row never scores its positive as a negative.
+
+    The loss is the mean over valid rows of
+    ``-log softmax([pos_logit, neg_logits])[0]``; gradients flow to
+    ``inputs`` and to exactly the gathered rows of ``weight`` (a
+    scatter-add, duplicates accumulated).
+    """
+    inputs, weight = as_tensor(inputs), as_tensor(weight)
+    num_classes = weight.shape[0]
+    if negatives is None:
+        if sampler is None or num_negatives is None:
+            raise ValueError(
+                "sampled_softmax_loss needs either explicit `negatives` or a "
+                "`sampler` plus `num_negatives`"
+            )
+        if num_negatives < 1:
+            raise ValueError(f"num_negatives must be >= 1, got {num_negatives}")
+        negatives = sampler.sample(int(num_negatives))
+    negatives = np.asarray(negatives, dtype=np.int64).reshape(-1)
+    if negatives.size < 1:
+        raise ValueError("sampled_softmax_loss needs at least one negative")
+    if int(negatives.min()) < 0 or int(negatives.max()) >= num_classes:
+        raise IndexError(
+            f"negatives out of range for {num_classes} classes "
+            f"(got min {int(negatives.min())}, max {int(negatives.max())})"
+        )
+
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    dim = inputs.shape[-1]
+    x = inputs.data.reshape(-1, dim)
+    w = weight.data
+    flat_targets = targets.reshape(-1).astype(np.int64)
+    if ignore_index is not None:
+        valid = flat_targets != ignore_index
+    else:
+        valid = np.ones_like(flat_targets, dtype=bool)
+    count = max(int(valid.sum()), 1)
+    safe_targets = np.where(valid, flat_targets, 0)
+    if safe_targets.size and (
+        int(safe_targets.min()) < 0 or int(safe_targets.max()) >= num_classes
+    ):
+        raise IndexError(
+            f"targets out of range for {num_classes} classes "
+            f"(got min {int(safe_targets.min())}, max {int(safe_targets.max())})"
+        )
+
+    if logq_correction:
+        if sampler is not None:
+            neg_log_q = sampler.log_q(negatives)
+            # Rows masked by ignore_index hold a placeholder target (0),
+            # which may lie outside the proposal support (log-uniform
+            # q(0) = 0 → an inf correction that would NaN the masked
+            # row's logit).  Correct only the valid rows; masked rows
+            # contribute nothing to the loss either way.
+            target_log_q = np.zeros(safe_targets.shape, dtype=np.float64)
+            if valid.any():
+                target_log_q[valid] = sampler.log_q(safe_targets[valid])
+        elif neg_log_q is None or target_log_q is None:
+            raise ValueError(
+                "logq_correction=True needs a `sampler` or explicit "
+                "`neg_log_q` AND `target_log_q` arrays; pass "
+                "logq_correction=False to score raw logits"
+            )
+
+    pos_rows = w[safe_targets]  # (R, d) gather; rows may repeat
+    neg_rows = w[negatives]  # (K, d)
+    # Candidate logits: one fused (R, K+1) block — column 0 is the
+    # positive, columns 1.. the shared negatives.
+    all_logits = np.empty((x.shape[0], negatives.size + 1), dtype=x.dtype)
+    np.einsum("rd,rd->r", x, pos_rows, out=all_logits[:, 0])
+    np.matmul(x, neg_rows.T, out=all_logits[:, 1:])
+    if logq_correction:
+        all_logits[:, 0] -= target_log_q.astype(x.dtype, copy=False)
+        all_logits[:, 1:] -= neg_log_q.astype(x.dtype, copy=False)[None, :]
+    if remove_accidental_hits:
+        hits = negatives[None, :] == safe_targets[:, None]  # (R, K)
+        all_logits[:, 1:][hits] = -np.inf
+
+    row_max = all_logits.max(axis=1)
+    shifted = all_logits - row_max[:, None]
+    np.exp(shifted, out=shifted)
+    # exp(-inf - max) underflows to 0: masked hits drop out of the sum.
+    log_z = np.log(shifted.sum(axis=1))
+    loss = -((all_logits[:, 0] - row_max - log_z) * valid).sum() / count
+
+    def backward(grad):
+        # Softmax over the K+1 candidates; column 0 is the positive.
+        soft = shifted / shifted.sum(axis=1, keepdims=True)
+        soft[:, 0] -= 1.0
+        soft *= (grad * valid / count).astype(x.dtype, copy=False)[:, None]
+        g_x = soft[:, 0:1] * pos_rows
+        g_x += soft[:, 1:] @ neg_rows
+        g_w = np.zeros_like(w)
+        # Scatter-add both gathers back: positives row-by-row (targets
+        # repeat across the batch), negatives via one (K, d) GEMM then
+        # a K-row scatter (sampled-with-replacement ids repeat too).
+        np.add.at(g_w, safe_targets, soft[:, 0:1] * x)
+        np.add.at(g_w, negatives, soft[:, 1:].T @ x)
         return (
             g_x.reshape(inputs.shape).astype(inputs.dtype, copy=False),
             g_w.astype(weight.dtype, copy=False),

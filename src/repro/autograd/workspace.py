@@ -304,7 +304,17 @@ def dropout_view_count() -> int:
 
 @contextlib.contextmanager
 def dropout_views(count: int):
-    """Scope a dropout view count over one stacked multi-view forward."""
+    """Scope a dropout view count over one stacked multi-view forward.
+
+    Exception-safe: the previous count is restored in a ``finally``
+    block, so an exception anywhere inside a batched ``encode_views``
+    pass (a shape error in a dropout site, a raising layer) cannot leak
+    the view count into the next step — the leaked count would silently
+    change every later dropout draw's generator consumption.  An
+    invalid ``count`` raises *before* any state is mutated.  Prefer
+    this context manager over calling :func:`set_dropout_view_count`
+    directly; direct callers own the try/finally themselves.
+    """
     previous = set_dropout_view_count(count)
     try:
         yield

@@ -21,6 +21,21 @@ from repro.data.dataset import SequenceDataset
 
 __all__ = ["BASELINE_NAMES", "build_baseline"]
 
+#: Prediction-loss knobs every :class:`SequentialEncoderBase` subclass
+#: honors as plain attributes (SLIME4Rec additionally carries them as
+#: ``SlimeConfig`` fields).  ``build_baseline`` extracts these from
+#: ``overrides`` and applies them uniformly, so one switch turns on the
+#: chunked or sampled-softmax training loss for any Table II model
+#: whose objective runs through the shared ``prediction_loss`` head.
+LOSS_KNOBS = ("ce_chunk_size", "train_num_negatives", "negative_sampling")
+
+#: Models whose training loss bypasses ``prediction_loss`` entirely
+#: (Cloze over positions, variational CE composition, pairwise BPR).
+#: Passing a loss knob for these would be a silent no-op — the user
+#: would believe sampled/chunked training is on while every step still
+#: runs the bespoke objective — so ``build_baseline`` rejects it.
+BESPOKE_LOSS_MODELS = frozenset({"BPR-MF", "BERT4Rec", "ContrastVAE"})
+
 #: Table II column order.
 BASELINE_NAMES: List[str] = [
     "BPR-MF",
@@ -51,8 +66,37 @@ def build_baseline(
     ``overrides`` are forwarded to the model constructor (SLIME4Rec
     accepts SlimeConfig fields instead).  ``dtype`` selects the compute
     precision of every model uniformly (float32/float64); ``None``
-    defers to :func:`repro.nn.init.get_default_dtype`.
+    defers to :func:`repro.nn.init.get_default_dtype`.  The shared
+    prediction-loss knobs (``ce_chunk_size``, ``train_num_negatives``,
+    ``negative_sampling`` — see :data:`LOSS_KNOBS`) are accepted for
+    every model that trains through ``prediction_loss`` and applied as
+    post-construction attributes, so e.g.
+    ``build_baseline("SASRec", ds, train_num_negatives=256)`` trains
+    SASRec with the sampled softmax; models with bespoke objectives
+    (:data:`BESPOKE_LOSS_MODELS`) reject the knobs instead of silently
+    ignoring them.
     """
+    knobs: Dict = {k: overrides.pop(k) for k in LOSS_KNOBS if k in overrides}
+    # Fail at build time, not at the first training step (mirrors the
+    # SlimeConfig validation for the attribute-plumbed models).
+    if knobs and name in BESPOKE_LOSS_MODELS:
+        raise ValueError(
+            f"{name} trains with a bespoke objective that bypasses "
+            f"prediction_loss; the loss knobs {sorted(knobs)} would be a "
+            f"silent no-op — remove them or pick a prediction_loss model"
+        )
+    if "negative_sampling" in knobs:
+        from repro.data.negative_sampling import NegativeSampler
+
+        if knobs["negative_sampling"] not in NegativeSampler.STRATEGIES:
+            raise ValueError(
+                f"negative_sampling must be one of {NegativeSampler.STRATEGIES}, "
+                f"got {knobs['negative_sampling']!r}"
+            )
+    for knob in ("ce_chunk_size", "train_num_negatives"):
+        value = knobs.get(knob)
+        if value is not None and value < 1:
+            raise ValueError(f"{knob} must be >= 1 or None, got {value}")
     common: Dict = dict(
         num_items=dataset.num_items,
         max_len=dataset.max_len,
@@ -60,30 +104,6 @@ def build_baseline(
         seed=seed,
         dtype=dtype,
     )
-    if name == "BPR-MF":
-        return BPRMF(**common, **overrides)
-    if name == "GRU4Rec":
-        return GRU4Rec(**common, **overrides)
-    if name == "Caser":
-        return Caser(**common, **overrides)
-    if name == "SASRec":
-        return SASRec(**common, num_layers=num_layers, **overrides)
-    if name == "S3Rec":
-        # Not part of Table II (the paper lists it as related work only)
-        # but available through the registry for extension studies.
-        return S3Rec(**common, num_layers=num_layers, **overrides)
-    if name == "BERT4Rec":
-        return BERT4Rec(**common, num_layers=num_layers, **overrides)
-    if name == "FMLP-Rec":
-        return FMLPRec(**common, num_layers=num_layers, **overrides)
-    if name == "CL4SRec":
-        return CL4SRec(**common, num_layers=num_layers, **overrides)
-    if name == "ContrastVAE":
-        return ContrastVAE(**common, num_layers=num_layers, **overrides)
-    if name == "CoSeRec":
-        return CoSeRec(**common, num_layers=num_layers, **overrides).prepare(dataset)
-    if name == "DuoRec":
-        return DuoRec(**common, num_layers=num_layers, **overrides)
     if name == "SLIME4Rec":
         config = SlimeConfig(
             num_items=dataset.num_items,
@@ -93,6 +113,35 @@ def build_baseline(
             seed=seed,
             dtype=dtype,
             **overrides,
+            **knobs,
         )
         return Slime4Rec(config)
-    raise KeyError(f"unknown model '{name}'; choose from {BASELINE_NAMES}")
+    if name == "BPR-MF":
+        model = BPRMF(**common, **overrides)
+    elif name == "GRU4Rec":
+        model = GRU4Rec(**common, **overrides)
+    elif name == "Caser":
+        model = Caser(**common, **overrides)
+    elif name == "SASRec":
+        model = SASRec(**common, num_layers=num_layers, **overrides)
+    elif name == "S3Rec":
+        # Not part of Table II (the paper lists it as related work only)
+        # but available through the registry for extension studies.
+        model = S3Rec(**common, num_layers=num_layers, **overrides)
+    elif name == "BERT4Rec":
+        model = BERT4Rec(**common, num_layers=num_layers, **overrides)
+    elif name == "FMLP-Rec":
+        model = FMLPRec(**common, num_layers=num_layers, **overrides)
+    elif name == "CL4SRec":
+        model = CL4SRec(**common, num_layers=num_layers, **overrides)
+    elif name == "ContrastVAE":
+        model = ContrastVAE(**common, num_layers=num_layers, **overrides)
+    elif name == "CoSeRec":
+        model = CoSeRec(**common, num_layers=num_layers, **overrides).prepare(dataset)
+    elif name == "DuoRec":
+        model = DuoRec(**common, num_layers=num_layers, **overrides)
+    else:
+        raise KeyError(f"unknown model '{name}'; choose from {BASELINE_NAMES}")
+    for key, value in knobs.items():
+        setattr(model, key, value)
+    return model

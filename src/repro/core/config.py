@@ -76,6 +76,17 @@ class SlimeConfig:
         value streams the loss over the item table in chunks of this
         many rows without materializing the full logits matrix
         (production-size catalogs).
+    train_num_negatives:
+        Sampled-softmax training.  ``None`` (default) trains against
+        the full catalog (Eq. 32, possibly chunked — see above); a
+        positive ``K`` scores each row against its positive plus ``K``
+        sampled negatives with the logQ correction, bounding the
+        prediction-layer *compute* for huge catalogs.  Evaluation
+        always ranks the full catalog regardless.
+    negative_sampling:
+        Proposal distribution for ``train_num_negatives``:
+        ``"uniform"`` (default) or ``"log_uniform"`` (Zipfian,
+        popularity-weighted when item ids are popularity-sorted).
     noise_eps:
         When positive, uniform noise of this relative magnitude is
         injected into every layer input (the Figure 6 robustness knob).
@@ -109,6 +120,8 @@ class SlimeConfig:
     cl_temperature: float = 1.0
     batched_views: bool = True
     ce_chunk_size: int | None = None
+    train_num_negatives: int | None = None
+    negative_sampling: str = "uniform"
     noise_eps: float = 0.0
     seed: int = 0
     dtype: str | None = None
@@ -132,6 +145,18 @@ class SlimeConfig:
         if self.ce_chunk_size is not None and self.ce_chunk_size < 1:
             raise ValueError(
                 f"ce_chunk_size must be >= 1 or None, got {self.ce_chunk_size}"
+            )
+        if self.train_num_negatives is not None and self.train_num_negatives < 1:
+            raise ValueError(
+                f"train_num_negatives must be >= 1 or None, "
+                f"got {self.train_num_negatives}"
+            )
+        from repro.data.negative_sampling import NegativeSampler
+
+        if self.negative_sampling not in NegativeSampler.STRATEGIES:
+            raise ValueError(
+                f"negative_sampling must be one of {NegativeSampler.STRATEGIES}, "
+                f"got {self.negative_sampling!r}"
             )
         if not (self.use_dfs or self.use_sfs):
             raise ValueError("at least one of use_dfs/use_sfs must be enabled")

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor, no_grad
+from repro.data.negative_sampling import NegativeSampler
 from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, Module
 from repro.nn import init as nn_init
 from repro.nn.workspace import dropout_views
@@ -113,6 +114,19 @@ class SequentialEncoderBase(Module):
         #: :func:`repro.autograd.functional.linear_cross_entropy`), the
         #: memory-bounded path for production-size catalogs.
         self.ce_chunk_size: int | None = None
+        #: Sampled-softmax training: when set to a positive ``K``,
+        #: :meth:`prediction_loss` scores each row against its positive
+        #: plus ``K`` sampled negatives
+        #: (:func:`repro.autograd.functional.sampled_softmax_loss`)
+        #: instead of the full ``V+1``-way softmax — the compute-bounded
+        #: path for huge catalogs.  ``negative_sampling`` picks the
+        #: proposal distribution (``"uniform"`` / ``"log_uniform"``);
+        #: the logQ correction is always applied.  Evaluation is
+        #: unaffected (it ranks the full catalog either way).
+        self.train_num_negatives: int | None = None
+        self.negative_sampling: str = "uniform"
+        self._train_sampler: NegativeSampler | None = None
+        self._train_sampler_seed = seed + 20011
         self._noise_rng = np.random.default_rng(seed + 104729)
         self.item_embedding = Embedding(
             num_items + 1 + extra_tokens, hidden_dim, padding_idx=0, rng=rng, dtype=dtype
@@ -233,14 +247,46 @@ class SequentialEncoderBase(Module):
             return self.user_representation(input_ids).data @ context
         return self.logits(input_ids).data
 
+    def negative_sampler(self) -> NegativeSampler:
+        """The model's shared training :class:`NegativeSampler` (lazy).
+
+        Built on first use from :attr:`negative_sampling` and the model
+        seed; rebuilt if the strategy attribute changes between calls.
+        """
+        if (
+            self._train_sampler is None
+            or self._train_sampler.strategy != self.negative_sampling
+        ):
+            self._train_sampler = NegativeSampler(
+                self.num_items,
+                strategy=self.negative_sampling,
+                seed=self._train_sampler_seed,
+            )
+        return self._train_sampler
+
     def prediction_loss(self, user: Tensor, targets: np.ndarray) -> Tensor:
         """Eq. 31-32 from precomputed user vectors: score table GEMM + CE.
 
-        Honors :attr:`ce_chunk_size`: when set, the GEMM+softmax stream
-        over the item table in row chunks via
-        :func:`repro.autograd.functional.linear_cross_entropy` instead
-        of materializing the full ``(B, V+1)`` logits matrix.
+        Honors the training-loss knobs, in precedence order:
+
+        - :attr:`train_num_negatives` — sampled softmax over the
+          positive plus ``K`` drawn negatives
+          (:func:`repro.autograd.functional.sampled_softmax_loss`),
+          bounding *compute* for huge catalogs;
+        - :attr:`ce_chunk_size` — full softmax streamed over the item
+          table in row chunks
+          (:func:`repro.autograd.functional.linear_cross_entropy`),
+          bounding *memory* without changing the objective;
+        - neither — the dense ``(B, V+1)`` GEMM+softmax reference.
         """
+        if self.train_num_negatives:
+            return F.sampled_softmax_loss(
+                user,
+                self._score_table(),
+                targets,
+                num_negatives=self.train_num_negatives,
+                sampler=self.negative_sampler(),
+            )
         if self.ce_chunk_size:
             return F.linear_cross_entropy(
                 user, self._score_table(), targets, chunk_size=self.ce_chunk_size

@@ -18,6 +18,7 @@ from repro.data.augmentation import (
     ItemCorrelation,
 )
 from repro.data.loaders import load_interactions_file
+from repro.data.negative_sampling import NegativeSampler
 from repro.data.reports import (
     PopularityReport,
     length_histogram,
@@ -45,6 +46,7 @@ __all__ = [
     "insert_sequence",
     "ItemCorrelation",
     "load_interactions_file",
+    "NegativeSampler",
     "PopularityReport",
     "popularity_report",
     "length_histogram",

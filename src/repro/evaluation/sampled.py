@@ -9,12 +9,13 @@ docstring warning is the point.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.autograd.tensor import no_grad
 from repro.data.dataset import SequenceDataset
+from repro.data.negative_sampling import NegativeSampler
 from repro.evaluation.metrics import hit_ratio_at_k, ndcg_at_k
 
 __all__ = ["SampledEvaluator"]
@@ -28,6 +29,14 @@ class SampledEvaluator:
        change model orderings.  Use :class:`~repro.evaluation.Evaluator`
        (full ranking) for paper-comparable numbers; use this class only
        to reproduce legacy protocols or to measure the bias.
+
+    Negatives come from a shared
+    :class:`~repro.data.negative_sampling.NegativeSampler` (uniform by
+    default, matching the classic protocol; pass ``sampler`` for a
+    popularity-weighted variant).  Each user's negatives are drawn in
+    one vectorized without-replacement ``choice`` over the eligible set
+    — a catalog with fewer than ``num_negatives`` unseen items raises a
+    clear :class:`ValueError` instead of hanging in a rejection loop.
     """
 
     def __init__(
@@ -36,21 +45,18 @@ class SampledEvaluator:
         ks: Sequence[int] = (5, 10),
         num_negatives: int = 100,
         seed: int = 0,
+        sampler: Optional[NegativeSampler] = None,
     ) -> None:
         self.dataset = dataset
         self.ks = tuple(ks)
         self.num_negatives = num_negatives
-        self._rng = np.random.default_rng(seed)
+        self.sampler = sampler or NegativeSampler(
+            dataset.num_items, strategy="uniform", seed=seed
+        )
 
     def _negatives_for(self, history: np.ndarray, target: int) -> np.ndarray:
-        seen = set(history.tolist()) | {0, int(target)}
-        negatives = []
-        while len(negatives) < self.num_negatives:
-            candidate = int(self._rng.integers(1, self.dataset.num_items + 1))
-            if candidate not in seen:
-                negatives.append(candidate)
-                seen.add(candidate)
-        return np.array(negatives, dtype=np.int64)
+        exclude = np.concatenate([np.asarray(history).reshape(-1), [0, int(target)]])
+        return self.sampler.sample_excluding(exclude, self.num_negatives)
 
     def evaluate(self, model, split: str = "test") -> Dict[str, float]:
         inputs, targets = self.dataset.eval_arrays(split)

@@ -27,6 +27,11 @@ subsystem that backs the training hot paths:
   encode consumes each generator exactly like ``V`` separate
   ``(B, N, d)`` passes would (the contract behind
   :meth:`repro.core.encoder.SequentialEncoderBase.encode_views`).
+  The context restores the previous count in a ``finally`` block —
+  an exception inside a batched forward cannot leak view state into
+  the next step (``tests/test_batched_views.py`` pins this); code
+  that calls :func:`set_dropout_view_count` directly must wrap the
+  restore in its own try/finally.
 
 Typical uses::
 

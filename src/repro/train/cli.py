@@ -16,6 +16,7 @@ import argparse
 import sys
 
 from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.baselines.registry import BESPOKE_LOSS_MODELS
 from repro.data.dataset import SequenceDataset
 from repro.data.loaders import load_interactions_file
 from repro.data.synthetic import PRESETS, load_preset
@@ -48,13 +49,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute precision; float32 halves memory bandwidth (default float64)",
     )
     parser.add_argument("--alpha", type=float, default=0.4, help="SLIME4Rec filter size ratio")
+    parser.add_argument(
+        "--train-num-negatives",
+        type=int,
+        default=None,
+        metavar="K",
+        help="train with sampled softmax over K negatives instead of the "
+        "full-catalog cross-entropy (evaluation still ranks the full catalog)",
+    )
+    parser.add_argument(
+        "--negative-sampling",
+        choices=("uniform", "log_uniform"),
+        default=None,
+        help="proposal distribution for --train-num-negatives "
+        "(default uniform; requires --train-num-negatives)",
+    )
+    parser.add_argument(
+        "--ce-chunk-size",
+        type=int,
+        default=None,
+        metavar="C",
+        help="stream the full-catalog cross-entropy over item-table chunks of "
+        "C rows (memory-bounded path; ignored when --train-num-negatives is set)",
+    )
     parser.add_argument("--checkpoint", help="where to save the trained weights (.npz)")
     parser.add_argument("--quiet", action="store_true")
     return parser
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    # Flag-consistency checks up front — fail in milliseconds, before
+    # the (potentially long) dataset build.
+    if args.negative_sampling is not None and args.train_num_negatives is None:
+        parser.error(
+            "--negative-sampling requires --train-num-negatives "
+            "(it only configures the sampled-softmax proposal)"
+        )
+    if args.model in BESPOKE_LOSS_MODELS and (
+        args.train_num_negatives is not None or args.ce_chunk_size is not None
+    ):
+        parser.error(
+            f"{args.model} trains with a bespoke objective that bypasses "
+            f"prediction_loss; --train-num-negatives / --ce-chunk-size do not apply"
+        )
 
     if args.data_file:
         interactions = load_interactions_file(args.data_file)
@@ -64,6 +104,11 @@ def main(argv=None) -> int:
     print(dataset.stats().as_row())
 
     overrides = {"alpha": args.alpha} if args.model == "SLIME4Rec" else {}
+    if args.train_num_negatives is not None:
+        overrides["train_num_negatives"] = args.train_num_negatives
+        overrides["negative_sampling"] = args.negative_sampling or "uniform"
+    if args.ce_chunk_size is not None:
+        overrides["ce_chunk_size"] = args.ce_chunk_size
     model = build_baseline(
         args.model,
         dataset,

@@ -222,6 +222,49 @@ class TestDropoutViewStreams:
         out = F.dropout(a, 0.5, training=False, rng=np.random.default_rng(0), views=3)
         assert out is a
 
+    def test_view_count_restored_after_raising_forward(self):
+        """An exception inside a batched encode must not leak view state."""
+        model = build_slime(batched=True)
+        model.train()
+        bad = random_batch()
+        # Sabotage the stacked pass *inside* the dropout_views context:
+        # positive_ids with a wrong length makes encode_views raise
+        # before, and a raising layer makes encode_states raise after,
+        # the count is set.
+        assert dropout_view_count() == 1
+        with pytest.raises(ValueError):
+            model.encode_views((bad.input_ids, bad.input_ids[:, :-1]))
+        assert dropout_view_count() == 1
+
+        class Boom(Exception):
+            pass
+
+        original = model.encode_states
+
+        def raising_encode(input_ids):
+            original(input_ids)  # consume some dropout draws first
+            raise Boom()
+
+        model.encode_states = raising_encode
+        with pytest.raises(Boom):
+            model.encode_views((bad.input_ids, bad.input_ids, bad.input_ids))
+        assert dropout_view_count() == 1
+
+    def test_view_count_restored_when_nested_context_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with dropout_views(3):
+                with dropout_views(2):
+                    raise RuntimeError("mid-forward failure")
+        assert dropout_view_count() == 1
+
+    def test_invalid_count_leaves_state_untouched(self):
+        with dropout_views(2):
+            with pytest.raises(ValueError):
+                with dropout_views(0):
+                    pass  # pragma: no cover - never entered
+            assert dropout_view_count() == 2
+        assert dropout_view_count() == 1
+
 
 # ----------------------------------------------------------------------
 # Chunked cross-entropy
@@ -320,3 +363,42 @@ class TestChunkedCrossEntropy:
     def test_config_rejects_bad_chunk_size(self):
         with pytest.raises(ValueError):
             SlimeConfig(num_items=10, ce_chunk_size=0)
+
+    @pytest.mark.parametrize("chunk", [0, -4])
+    def test_cross_entropy_rejects_nonpositive_chunk(self, rng, chunk):
+        logits = Tensor(rng.normal(size=(5, 11)))
+        targets = rng.integers(0, 11, size=5)
+        with pytest.raises(ValueError, match="chunk_size"):
+            F.cross_entropy(logits, targets, chunk_size=chunk)
+
+    @pytest.mark.parametrize("chunk", [-1, 0])
+    def test_linear_ce_rejects_nonpositive_chunk(self, rng, chunk):
+        user = Tensor(rng.normal(size=(3, 4)))
+        weight = Tensor(rng.normal(size=(9, 4)))
+        with pytest.raises(ValueError, match="chunk_size"):
+            F.linear_cross_entropy(user, weight, np.zeros(3, dtype=np.int64), chunk_size=chunk)
+
+    def test_oversized_chunk_clamps_to_dense(self, rng):
+        """chunk_size > V is one chunk: bitwise the dense path, no range games."""
+        logits = rng.normal(size=(6, 13))
+        targets = rng.integers(0, 13, size=6)
+        a = Tensor(logits.copy(), requires_grad=True)
+        b = Tensor(logits.copy(), requires_grad=True)
+        dense = F.cross_entropy(a, targets)
+        clamped = F.cross_entropy(b, targets, chunk_size=13_000)
+        dense.backward()
+        clamped.backward()
+        assert float(dense.data) == float(clamped.data)
+        np.testing.assert_array_equal(a.grad, b.grad)
+
+        user = rng.normal(size=(4, 5))
+        table = rng.normal(size=(13, 5))
+        ua, wa = Tensor(user.copy(), requires_grad=True), Tensor(table.copy(), requires_grad=True)
+        ub, wb = Tensor(user.copy(), requires_grad=True), Tensor(table.copy(), requires_grad=True)
+        dense_lin = F.linear_cross_entropy(ua, wa, targets[:4])
+        clamped_lin = F.linear_cross_entropy(ub, wb, targets[:4], chunk_size=999)
+        dense_lin.backward()
+        clamped_lin.backward()
+        assert float(dense_lin.data) == float(clamped_lin.data)
+        np.testing.assert_array_equal(ua.grad, ub.grad)
+        np.testing.assert_array_equal(wa.grad, wb.grad)

@@ -65,3 +65,70 @@ class TestWarmupCosine:
     def test_invalid_totals(self, optimizer):
         with pytest.raises(ValueError):
             WarmupCosineLR(optimizer, warmup_steps=5, total_steps=5)
+
+
+class TestResume:
+    """Rebuilding a scheduler mid-run must continue, not restart, the
+    schedule — the base_lr re-anchoring bug."""
+
+    def _reference_lrs(self, steps=12):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        opt = Adam([param], lr=0.1)
+        sched = WarmupCosineLR(opt, warmup_steps=4, total_steps=12)
+        return [sched.step() for _ in range(steps)]
+
+    def test_last_step_continues_warmup_cosine(self, optimizer):
+        reference = self._reference_lrs()
+        sched = WarmupCosineLR(optimizer, warmup_steps=4, total_steps=12)
+        for _ in range(5):
+            sched.step()
+        # Rebuild against the *already-decayed* optimizer: without an
+        # explicit anchor + last_step this would re-anchor warmup to
+        # the decayed lr and restart from step 1.
+        resumed = WarmupCosineLR(
+            optimizer, warmup_steps=4, total_steps=12,
+            last_step=sched.last_step, base_lr=sched.base_lr,
+        )
+        assert optimizer.lr == pytest.approx(reference[4])  # resync at build
+        continued = [resumed.step() for _ in range(7)]
+        assert continued == pytest.approx(reference[5:])
+
+    def test_state_dict_round_trip(self, optimizer):
+        reference = self._reference_lrs()
+        sched = WarmupCosineLR(optimizer, warmup_steps=4, total_steps=12)
+        for _ in range(3):
+            sched.step()
+        state = sched.state_dict()
+        assert state == {"step": 3, "base_lr": 0.1}
+
+        param = Tensor(np.zeros(2), requires_grad=True)
+        fresh_opt = Adam([param], lr=0.05)  # wrong lr on purpose
+        fresh = WarmupCosineLR(fresh_opt, warmup_steps=4, total_steps=12)
+        fresh.load_state_dict(state)
+        assert fresh.base_lr == pytest.approx(0.1)
+        assert fresh_opt.lr == pytest.approx(reference[2])  # lr re-applied
+        continued = [fresh.step() for _ in range(9)]
+        assert continued == pytest.approx(reference[3:])
+
+    def test_step_lr_resume(self, optimizer):
+        sched = StepLR(optimizer, step_size=2, gamma=0.5)
+        reference = [sched.step() for _ in range(6)]
+
+        param = Tensor(np.zeros(2), requires_grad=True)
+        opt = Adam([param], lr=0.1)
+        resumed = StepLR(opt, step_size=2, gamma=0.5, last_step=4, base_lr=0.1)
+        assert opt.lr == pytest.approx(reference[3])
+        assert [resumed.step(), resumed.step()] == pytest.approx(reference[4:])
+
+    def test_negative_last_step_rejected(self, optimizer):
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=2, last_step=-1)
+
+    def test_fresh_scheduler_state_is_zero(self, optimizer):
+        sched = ConstantLR(optimizer)
+        assert sched.last_step == 0
+        assert sched.state_dict() == {"step": 0, "base_lr": 0.1}
+
+    def test_constant_lr_resyncs_at_construction(self, optimizer):
+        ConstantLR(optimizer, last_step=3, base_lr=0.2)
+        assert optimizer.lr == pytest.approx(0.2)

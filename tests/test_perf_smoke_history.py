@@ -64,3 +64,42 @@ class TestHistoryMedian:
         median, count = cps._history_median("float32")
         assert count == cps.HISTORY_WINDOW
         assert median == 115.0  # the 1000 ms outliers fell out of the window
+
+
+class TestVariantKeying:
+    """Loss-variant records (sampled CE vs the default full softmax)
+    must never mix into one rolling median."""
+
+    def test_default_median_ignores_other_variants(self, cps):
+        _write(cps, [
+            _rec(cps, 100), _rec(cps, 110), _rec(cps, 120),
+            _rec(cps, 5, variant="sampled_ce"),
+            _rec(cps, 7, variant="chunked_ce"),
+        ])
+        assert cps._history_median("float32") == (110.0, 3)
+
+    def test_variant_median_is_per_variant(self, cps):
+        _write(cps, [
+            _rec(cps, 100), _rec(cps, 110), _rec(cps, 120),
+            _rec(cps, 20, variant="sampled_ce"),
+            _rec(cps, 30, variant="sampled_ce"),
+            _rec(cps, 40, variant="sampled_ce"),
+        ])
+        assert cps._history_median("float32", variant="sampled_ce") == (30.0, 3)
+        assert cps._history_median("float32") == (110.0, 3)
+
+    def test_records_without_variant_field_count_as_default(self, cps):
+        """Pre-PR-5 history lines have no variant key: still the baseline."""
+        legacy = [_rec(cps, ms) for ms in (100, 110, 120)]
+        for rec in legacy:
+            assert "variant" not in rec
+        tagged = [_rec(cps, 130, variant=cps.DEFAULT_VARIANT)]
+        _write(cps, legacy + tagged)
+        assert cps._history_median("float32") == (115.0, 4)
+
+    def test_too_few_records_within_a_variant(self, cps):
+        _write(cps, [
+            _rec(cps, 100), _rec(cps, 110), _rec(cps, 120),
+            _rec(cps, 20, variant="sampled_ce"),
+        ])
+        assert cps._history_median("float32", variant="sampled_ce") == (None, 1)

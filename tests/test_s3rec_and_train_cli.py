@@ -98,6 +98,48 @@ class TestTrainCli:
         ])
         assert code == 0
 
+    def test_sampled_softmax_flags(self, capsys):
+        code = main([
+            "--model", "SASRec", "--dataset", "beauty",
+            "--scale", "0.1", "--max-len", "8", "--hidden-dim", "16",
+            "--epochs", "1", "--patience", "0", "--quiet",
+            "--train-num-negatives", "8", "--negative-sampling", "log_uniform",
+        ])
+        assert code == 0
+        assert "test:" in capsys.readouterr().out
+
+    def test_lone_negative_sampling_flag_errors(self, capsys):
+        """--negative-sampling without --train-num-negatives must fail
+        loudly, not be silently dropped."""
+        with pytest.raises(SystemExit):
+            main([
+                "--model", "SASRec", "--dataset", "beauty", "--scale", "0.1",
+                "--max-len", "8", "--epochs", "1", "--quiet",
+                "--negative-sampling", "log_uniform",
+            ])
+        assert "--train-num-negatives" in capsys.readouterr().err
+
+    def test_bespoke_model_with_loss_knob_errors_before_dataset_build(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "--model", "BERT4Rec", "--dataset", "beauty", "--scale", "0.1",
+                "--max-len", "8", "--epochs", "1", "--quiet",
+                "--train-num-negatives", "8",
+            ])
+        captured = capsys.readouterr()
+        assert "bespoke" in captured.err
+        assert "users=" not in captured.out  # no dataset was built first
+
+    def test_ce_chunk_size_flag(self, capsys):
+        code = main([
+            "--model", "SLIME4Rec", "--dataset", "beauty",
+            "--scale", "0.1", "--max-len", "8", "--hidden-dim", "16",
+            "--epochs", "1", "--patience", "0", "--quiet",
+            "--ce-chunk-size", "16",
+        ])
+        assert code == 0
+        assert "test:" in capsys.readouterr().out
+
     def test_rejects_unknown_model(self):
         with pytest.raises(SystemExit):
             main(["--model", "NotAModel"])

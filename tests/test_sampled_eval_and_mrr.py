@@ -89,3 +89,44 @@ class TestSampledEvaluator:
         ev = SampledEvaluator(dataset, ks=(1, 5), num_negatives=10)
         out = ev.evaluate(_OracleModel(dataset))
         assert set(out) == {"HR@1", "HR@5", "NDCG@1", "NDCG@5"}
+
+    def test_small_catalog_raises_instead_of_hanging(self):
+        """num_negatives > eligible items used to spin the rejection
+        loop forever; it must now raise a clear ValueError."""
+        cfg = SyntheticConfig(num_users=40, num_items=50, seed=6)
+        small = SequenceDataset(generate_interactions(cfg), max_len=10)
+        assert small.num_items < 100
+        ev = SampledEvaluator(small, num_negatives=100)
+        with pytest.raises(ValueError, match="eligible"):
+            ev.evaluate(_UniformModel(small.vocab_size))
+
+    def test_negatives_deterministic_with_seed(self, dataset):
+        inputs, targets = dataset.eval_arrays("test")
+        a = SampledEvaluator(dataset, num_negatives=20, seed=3)
+        b = SampledEvaluator(dataset, num_negatives=20, seed=3)
+        np.testing.assert_array_equal(
+            a._negatives_for(inputs[0], targets[0]),
+            b._negatives_for(inputs[0], targets[0]),
+        )
+        c = SampledEvaluator(dataset, num_negatives=20, seed=4)
+        assert not np.array_equal(
+            a._negatives_for(inputs[1], targets[1]),
+            c._negatives_for(inputs[1], targets[1]),
+        )
+
+    def test_evaluate_deterministic_with_seed(self, dataset):
+        model = _UniformModel(dataset.vocab_size)
+        out_a = SampledEvaluator(dataset, ks=(5,), num_negatives=15, seed=9).evaluate(model)
+        model_b = _UniformModel(dataset.vocab_size)
+        out_b = SampledEvaluator(dataset, ks=(5,), num_negatives=15, seed=9).evaluate(model_b)
+        assert out_a == out_b
+
+    def test_shared_sampler_injection(self, dataset):
+        """A popularity-weighted NegativeSampler can be swapped in."""
+        from repro.data.negative_sampling import NegativeSampler
+
+        sampler = NegativeSampler(dataset.num_items, strategy="log_uniform", seed=0)
+        ev = SampledEvaluator(dataset, ks=(5,), num_negatives=10, sampler=sampler)
+        assert ev.sampler is sampler
+        out = ev.evaluate(_OracleModel(dataset))
+        assert out["HR@5"] == 1.0
