@@ -27,6 +27,7 @@ from repro.baselines import build_baseline
 from repro.data.batching import BatchIterator
 from repro.nn.workspace import fast_dropout_masks
 from repro.optim import Adam
+from repro.train import TrainConfig, Trainer
 
 MODELS = ["SASRec", "FMLP-Rec", "GRU4Rec", "SLIME4Rec", "DuoRec"]
 DTYPES = ["float64", "float32"]
@@ -136,6 +137,40 @@ def test_train_step_sampled_softmax(benchmark, setup, sampling):
         loss.backward()
         optimizer.step()
         return float(loss.data)
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
+@pytest.mark.parametrize(
+    "every", [0, 8], ids=["no_checkpoint", "checkpoint_every_8"]
+)
+def test_train_step_checkpoint_overhead(benchmark, setup, tmp_path, every):
+    """Float32 SLIME4Rec step with periodic full-run-state checkpointing.
+
+    The ``checkpoint_every_8`` variant amortizes one durable
+    :class:`~repro.utils.io.CheckpointStore` save (model + optimizer +
+    RNG streams, atomic write + fsync + checksum) over every 8 steps;
+    ``no_checkpoint`` is the same trainer step without a store.  The
+    committed epoch-boundary A/B lives in
+    ``benchmarks/results/checkpoint_overhead.json``
+    (``bench_checkpoint_overhead.py``).
+    """
+    dataset = setup
+    model = build_baseline("SLIME4Rec", dataset, hidden_dim=64, seed=0, dtype="float32")
+    config = TrainConfig(
+        batch_size=128,
+        checkpoint_dir=str(tmp_path / "store") if every else None,
+        checkpoint_every=every,
+        keep_last=2,
+    )
+    trainer = Trainer(model, dataset, config, with_same_target=True)
+    batch = next(iter(trainer.iterator.epoch()))
+    model.train()
+
+    def step():
+        trainer._train_step(batch)
+        return trainer._epoch_losses[-1]
 
     result = benchmark(step)
     assert np.isfinite(result)

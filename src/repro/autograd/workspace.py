@@ -57,6 +57,7 @@ public, documented entry point is :mod:`repro.nn.workspace`.
 from __future__ import annotations
 
 import contextlib
+import copy
 import threading
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -75,6 +76,8 @@ __all__ = [
     "set_dropout_view_count",
     "dropout_view_count",
     "dropout_views",
+    "generator_state",
+    "set_generator_state",
 ]
 
 
@@ -218,6 +221,42 @@ def reset_workspace() -> StepWorkspace:
     ws = StepWorkspace()
     _tls.workspace = ws
     return ws
+
+
+# ----------------------------------------------------------------------
+# Random-stream capture: the RNG half of the run-state contract
+# ----------------------------------------------------------------------
+#
+# Every stochastic stream in a training run is a ``numpy.random.Generator``
+# (dropout layers, augmentation/noise/mask rngs on the baselines, the
+# batch iterator's shuffle stream, the negative sampler).  Bitwise
+# crash/resume requires capturing each generator's *bit state* — the
+# exact position in its PCG64 sequence — not its seed: a seed only
+# reproduces the stream from the start, while a checkpoint lands
+# mid-stream.  These two helpers define the capture format used by
+# ``Module.rng_state_dict`` and the trainer's run-state archive.
+
+
+def generator_state(gen: np.random.Generator) -> Dict[str, Any]:
+    """Deep-copied, JSON-serializable snapshot of a generator's bit state.
+
+    The returned dict is numpy's own ``bit_generator.state`` payload
+    (algorithm name + integer state words; PCG64 state words are 128-bit
+    Python ints, which JSON carries exactly).  Restoring it with
+    :func:`set_generator_state` resumes the stream at the captured
+    position, so subsequent draws are bitwise-identical to a run that
+    never stopped.
+    """
+    return copy.deepcopy(gen.bit_generator.state)
+
+
+def set_generator_state(gen: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a :func:`generator_state` snapshot into ``gen`` in place.
+
+    Raises ``ValueError`` (from numpy) when the snapshot belongs to a
+    different bit-generator algorithm than ``gen`` uses.
+    """
+    gen.bit_generator.state = copy.deepcopy(state)
 
 
 # ----------------------------------------------------------------------

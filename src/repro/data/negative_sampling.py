@@ -37,9 +37,11 @@ construction, so a training run's negative stream is reproducible from
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Dict, Tuple, Union
 
 import numpy as np
+
+from repro.autograd.workspace import generator_state, set_generator_state
 
 __all__ = ["NegativeSampler"]
 
@@ -175,6 +177,33 @@ class NegativeSampler:
                 draw = draw[np.sort(first)]
             result = np.concatenate([result, draw])
         return result[:num]
+
+    # ------------------------------------------------------------------
+    # Random-stream capture (the Module.rng_state_dict delegate protocol)
+    # ------------------------------------------------------------------
+    def rng_state_dict(self) -> Dict:
+        """JSON-serializable snapshot: sampler identity + generator bit state.
+
+        The identity fields (``num_items``, ``strategy``, ``seed``) make
+        a restore into a differently configured sampler fail loudly
+        instead of silently resuming the wrong proposal distribution.
+        """
+        return {
+            "num_items": self.num_items,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "bit_state": generator_state(self._rng),
+        }
+
+    def load_rng_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`rng_state_dict` snapshot in place."""
+        for field in ("num_items", "strategy"):
+            if state.get(field) != getattr(self, field):
+                raise ValueError(
+                    f"sampler state mismatch on {field!r}: checkpoint has "
+                    f"{state.get(field)!r}, live sampler has {getattr(self, field)!r}"
+                )
+        set_generator_state(self._rng, state["bit_state"])
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

@@ -25,6 +25,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor, bump_parameter_version
+from repro.autograd.workspace import generator_state, set_generator_state
 
 __all__ = ["Parameter", "Module", "ModuleList"]
 
@@ -75,6 +76,18 @@ class Module:
         for module in self._modules.values():
             yield from module.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(dotted_path, module)`` for this module and all children.
+
+        The root module's path is ``""``; children follow attribute
+        names (``"encoder.layers.0"``), the same naming scheme
+        :meth:`named_parameters` uses.
+        """
+        yield prefix, self
+        for name, module in self._modules.items():
+            child = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(prefix=child)
+
     # ------------------------------------------------------------------
     # Mode switching and gradient management
     # ------------------------------------------------------------------
@@ -117,7 +130,18 @@ class Module:
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, np.ndarray], cast: bool = False) -> None:
+        """Restore a :meth:`state_dict`, validating keys, shapes and dtypes.
+
+        A dtype mismatch raises a :class:`ValueError` naming the
+        offending key instead of casting silently — a float32
+        checkpoint loaded into a float64 model would otherwise carry
+        only float32 precision while claiming float64, and the reverse
+        direction would silently truncate.  Pass ``cast=True`` to opt
+        into the conversion deliberately (e.g. restoring a float64
+        reference checkpoint into a model already moved with
+        :meth:`to`).
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -131,10 +155,82 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for '{name}': expected {param.shape}, got {value.shape}"
                 )
-            param.data = value.astype(param.dtype, copy=True)
+            if value.dtype != param.dtype and not cast:
+                raise ValueError(
+                    f"dtype mismatch for '{name}': checkpoint has {value.dtype}, "
+                    f"parameter is {param.dtype}; build the model in the "
+                    f"checkpoint's dtype or pass cast=True to convert explicitly"
+                )
+        for name, param in own.items():
+            param.data = np.asarray(state[name]).astype(param.dtype, copy=True)
         # Restored payloads invalidate parameter-derived caches (e.g.
         # the filter mixer's combined complex filter).
         bump_parameter_version()
+
+    # ------------------------------------------------------------------
+    # Random-stream capture (the RNG half of a full-state checkpoint)
+    # ------------------------------------------------------------------
+    def _named_rng_owners(self) -> Dict[str, Tuple[str, object]]:
+        """Map ``dotted.path`` to every random-stream owner in the tree.
+
+        Two kinds of owner are discovered by scanning module attributes:
+        bare ``numpy.random.Generator`` instances (dropout streams,
+        augmentation/noise/mask rngs) and *delegates* — objects exposing
+        their own ``rng_state_dict``/``load_rng_state_dict`` pair (the
+        :class:`~repro.data.negative_sampling.NegativeSampler`).  The
+        walk order is deterministic (attribute-assignment order per
+        module, :meth:`named_modules` order across the tree).
+        """
+        owners: Dict[str, Tuple[str, object]] = {}
+        for mprefix, module in self.named_modules():
+            for attr, value in vars(module).items():
+                if isinstance(value, Module):
+                    continue
+                path = f"{mprefix}.{attr}" if mprefix else attr
+                if isinstance(value, np.random.Generator):
+                    owners[path] = ("generator", value)
+                elif callable(getattr(value, "rng_state_dict", None)) and callable(
+                    getattr(value, "load_rng_state_dict", None)
+                ):
+                    owners[path] = ("delegate", value)
+        return owners
+
+    def rng_state_dict(self) -> Dict[str, Dict]:
+        """Snapshot every random stream owned by this module tree.
+
+        Returns ``{path: state}`` where ``state`` is a JSON-serializable
+        bit-state snapshot (:func:`repro.nn.workspace.generator_state`)
+        or a delegate's own ``rng_state_dict``.  Together with
+        :meth:`state_dict` and the optimizer state this is everything a
+        bitwise-identical training resume needs from the model.
+        """
+        out: Dict[str, Dict] = {}
+        for path, (kind, owner) in self._named_rng_owners().items():
+            out[path] = generator_state(owner) if kind == "generator" else owner.rng_state_dict()
+        return out
+
+    def load_rng_state_dict(self, state: Dict[str, Dict]) -> None:
+        """Restore a :meth:`rng_state_dict` snapshot in place.
+
+        Raises :class:`KeyError` on any mismatch between the snapshot
+        and the live tree's stream owners.  A lazily created stream
+        (e.g. the training negative sampler) must be materialized before
+        restoring — the trainer does this for streams it knows about.
+        """
+        owners = self._named_rng_owners()
+        missing = set(owners) - set(state)
+        unexpected = set(state) - set(owners)
+        if missing or unexpected:
+            raise KeyError(
+                f"rng state mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)} (a lazily built stream, e.g. "
+                f"the negative sampler, must exist before its state can load)"
+            )
+        for path, (kind, owner) in owners.items():
+            if kind == "generator":
+                set_generator_state(owner, state[path])
+            else:
+                owner.load_rng_state_dict(state[path])
 
     # ------------------------------------------------------------------
     # Call protocol

@@ -33,6 +33,12 @@ subsystem that backs the training hot paths:
   that calls :func:`set_dropout_view_count` directly must wrap the
   restore in its own try/finally.
 
+- **Random-stream capture** (:func:`generator_state` /
+  :func:`set_generator_state`): the JSON-serializable bit-state
+  snapshot format behind ``Module.rng_state_dict`` and the trainer's
+  crash-safe run-state archive — a restored generator resumes its
+  PCG64 sequence mid-stream, bitwise-identically.
+
 Typical uses::
 
     from repro.nn import workspace
@@ -60,10 +66,12 @@ from repro.autograd.workspace import (
     dropout_views,
     fast_dropout_masks,
     fast_dropout_masks_enabled,
+    generator_state,
     get_workspace,
     reset_workspace,
     set_dropout_view_count,
     set_fast_dropout_masks,
+    set_generator_state,
 )
 
 __all__ = [
@@ -77,4 +85,6 @@ __all__ = [
     "set_dropout_view_count",
     "dropout_view_count",
     "dropout_views",
+    "generator_state",
+    "set_generator_state",
 ]

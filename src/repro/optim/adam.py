@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
@@ -80,3 +80,28 @@ class Adam(Optimizer):
             s *= step_size
             p.data -= s
         bump_parameter_version()
+
+    # ------------------------------------------------------------------
+    # Resume state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Step count, lr, and copies of the first/second moment buffers.
+
+        The bias corrections are pure functions of the step count, so
+        ``(step, m, v)`` is the complete update state: a restored Adam
+        continues the moment recursions and the folded bias-correction
+        schedule bitwise-identically.
+        """
+        state = super().state_dict()
+        state.update(
+            step=int(self._step),
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._restore_buffers(self._m, state["m"], "m")
+        self._restore_buffers(self._v, state["v"], "v")
+        self._step = int(state["step"])

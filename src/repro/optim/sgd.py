@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
@@ -54,3 +54,22 @@ class SGD(Optimizer):
                 np.multiply(grad, self.lr, out=s)
             p.data -= s
         bump_parameter_version()
+
+    # ------------------------------------------------------------------
+    # Resume state
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        state = super().state_dict()
+        if self._velocity is not None:
+            state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        if (self._velocity is not None) != ("velocity" in state):
+            raise ValueError(
+                "optimizer state mismatch: momentum buffers present on only "
+                "one side of the restore"
+            )
+        if self._velocity is not None:
+            self._restore_buffers(self._velocity, state["velocity"], "velocity")

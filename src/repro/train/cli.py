@@ -8,6 +8,13 @@ Usage::
 
 Trains one model on one synthetic preset (or a real interaction file
 via ``--data-file``) and prints validation history plus test metrics.
+
+Crash-safe runs keep a rotated full-run-state store and can continue a
+killed run bitwise-identically::
+
+    python -m repro.train.cli --model SLIME4Rec --checkpoint-dir out/run1
+    # ... process dies ...
+    python -m repro.train.cli --model SLIME4Rec --checkpoint-dir out/run1 --resume
 """
 
 from __future__ import annotations
@@ -73,6 +80,41 @@ def build_parser() -> argparse.ArgumentParser:
         "C rows (memory-bounded path; ignored when --train-num-negatives is set)",
     )
     parser.add_argument("--checkpoint", help="where to save the trained weights (.npz)")
+    parser.add_argument(
+        "--checkpoint-dir",
+        help="directory for rotated full-run-state checkpoints (model + "
+        "optimizer + RNG streams + history); written at every epoch "
+        "boundary, enabling --resume after a crash",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="STEPS",
+        help="additionally checkpoint every STEPS optimizer steps "
+        "(0 = epoch boundaries only; requires --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        metavar="K",
+        help="checkpoints retained by rotation in --checkpoint-dir (default 3)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the newest verifiable checkpoint in --checkpoint-dir; "
+        "the continued run is bitwise-identical to one that never stopped",
+    )
+    parser.add_argument(
+        "--guard-policy",
+        choices=("raise", "skip", "rollback"),
+        default="raise",
+        help="what to do when a step produces a non-finite loss/gradient: "
+        "fail fast (default), skip the update, or roll back to the last "
+        "checkpoint (requires --checkpoint-dir)",
+    )
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -95,6 +137,12 @@ def main(argv=None) -> int:
             f"{args.model} trains with a bespoke objective that bypasses "
             f"prediction_loss; --train-num-negatives / --ce-chunk-size do not apply"
         )
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir (the store to resume from)")
+    if args.checkpoint_every and not args.checkpoint_dir:
+        parser.error("--checkpoint-every requires --checkpoint-dir")
+    if args.guard_policy == "rollback" and not args.checkpoint_dir:
+        parser.error("--guard-policy rollback requires --checkpoint-dir")
 
     if args.data_file:
         interactions = load_interactions_file(args.data_file)
@@ -127,12 +175,16 @@ def main(argv=None) -> int:
         patience=args.patience,
         seed=args.seed,
         verbose=not args.quiet,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        keep_last=args.keep_last,
+        guard_policy=args.guard_policy,
     )
     trainer = Trainer(
         model, dataset, config,
         with_same_target=args.model in ("DuoRec", "SLIME4Rec"),
     )
-    history = trainer.fit()
+    history = trainer.fit(resume_from=args.checkpoint_dir if args.resume else None)
     result = trainer.test()
     print(f"\n{history.summary()}")
     print(f"test: {result.as_row()}")
