@@ -1,0 +1,410 @@
+#!/usr/bin/env python
+"""Serving-latency A/B: the fast online path vs the naive baseline.
+
+The question this answers: at a production catalog (default 100k
+items), what do the serving subsystem's four optimizations — cached
+user state, request micro-batching, the float16 item table and blocked
+``argpartition`` top-k — buy over the naive loop that re-encodes every
+request and full-sorts the float32 catalog?
+
+Setup (no dataset build — random-id traffic at serving geometry):
+
+1. Build SLIME4Rec on a ``--num-items`` catalog and briefly train it
+   with sampled softmax on Zipf-popular sequences whose next item
+   follows a fixed hidden successor map, so top-k has real signal.
+2. **Fidelity gate**: serve the same held-out users through the fast
+   arm (float16 table + blocked top-k) and the reference arm (float32
+   + full sort); HR@10 / NDCG@10 must agree within 0.01 absolute.
+3. **Latency replay**: closed-loop worker threads replay a Zipfian
+   user stream (observe one event, then recommend) against each arm,
+   interleaving the arms round-robin to cancel thermal/cache drift.
+
+Writes:
+
+- ``benchmarks/results/serving_latency.json`` — the committed A/B
+  record (p50/p99/QPS per arm + the fidelity numbers);
+- one ``variant``-tagged line per arm (``serve_fast`` /
+  ``serve_naive``) to ``benchmarks/results/step_time_history.jsonl``
+  (skipped with ``--no-record`` or ``PERF_SMOKE_NO_RECORD=1``).  The
+  perf-smoke rolling-median gate compares strictly within a variant.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_latency.py
+    PYTHONPATH=src python benchmarks/bench_serving_latency.py --num-items 250000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+OUT_PATH = RESULTS_DIR / "serving_latency.json"
+HISTORY_PATH = RESULTS_DIR / "step_time_history.jsonl"
+
+FIDELITY_TOLERANCE = 0.01  # max |HR@10 / NDCG@10 delta| fast vs reference
+
+
+def _git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-items", type=int, default=100_000)
+    parser.add_argument("--max-len", type=int, default=32)
+    parser.add_argument("--hidden-dim", type=int, default=64)
+    parser.add_argument("--dtype", choices=("float32", "float64"), default="float32")
+    parser.add_argument("--train-steps", type=int, default=30)
+    parser.add_argument("--num-negatives", type=int, default=512)
+    parser.add_argument("--users", type=int, default=2000,
+                        help="resident serving sessions")
+    parser.add_argument("--eval-users", type=int, default=500,
+                        help="held-out users for the fidelity gate")
+    parser.add_argument("--requests", type=int, default=600,
+                        help="replay requests per arm (split across rounds)")
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="A/B interleaving rounds")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--observe-prob", type=float, default=0.25,
+                        help="fraction of requests that carry a new event "
+                        "(the rest are pure reads and can reuse cached state)")
+    parser.add_argument("--zipf-a", type=float, default=1.2)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-record", action="store_true",
+                        help="do not append history lines")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Synthetic traffic: Zipf-popular items with a hidden successor map
+# ----------------------------------------------------------------------
+
+
+class Traffic:
+    """Item popularity (Zipf rank-frequency) + a successor map.
+
+    ``succ[i]`` is the item that deterministically follows item ``i``;
+    a model that learns it beats popularity ranking, giving the
+    fidelity gate real HR@10 signal instead of noise-vs-noise.
+    """
+
+    def __init__(self, num_items: int, a: float, rng) -> None:
+        self.num_items = num_items
+        ranks = np.arange(1, num_items + 1, dtype=np.float64)
+        probs = ranks ** (-a)
+        self._probs = probs / probs.sum()
+        self._by_rank = rng.permutation(num_items) + 1  # rank -> item id
+        self.succ = np.zeros(num_items + 1, dtype=np.int64)
+        self.succ[1:] = rng.permutation(num_items) + 1
+
+    def draw_items(self, size, rng) -> np.ndarray:
+        return self._by_rank[
+            rng.choice(self.num_items, size=size, p=self._probs)
+        ]
+
+    def history(self, length: int, rng) -> np.ndarray:
+        """A popularity-seeded successor walk (10% random restarts)."""
+        items = self.draw_items(length, rng)
+        for t in range(1, length):
+            if rng.random() < 0.9:
+                items[t] = self.succ[items[t - 1]]
+        return items
+
+
+def train_model(args, traffic: Traffic, rng):
+    """Brief sampled-softmax training so rankings carry signal."""
+    from repro.core import Slime4Rec, SlimeConfig
+    from repro.data.batching import Batch
+    from repro.optim import Adam
+
+    config = SlimeConfig(
+        num_items=args.num_items,
+        max_len=args.max_len,
+        hidden_dim=args.hidden_dim,
+        cl_weight=0.0,
+        seed=args.seed,
+        dtype=args.dtype,
+        train_num_negatives=args.num_negatives,
+        negative_sampling="log_uniform",
+    )
+    model = Slime4Rec(config)
+    model.train()
+    optimizer = Adam(model.parameters())
+    start = time.perf_counter()
+    loss_value = float("nan")
+    for _ in range(args.train_steps):
+        inputs = np.stack([traffic.history(args.max_len, rng) for _ in range(128)])
+        inputs[:, : args.max_len // 4] = 0  # left padding, as in training
+        batch = Batch(
+            input_ids=inputs, targets=traffic.succ[inputs[:, -1]]
+        )
+        optimizer.zero_grad()
+        loss = model.loss(batch)
+        loss.backward()
+        optimizer.step()
+        loss_value = float(loss.data)
+    elapsed = time.perf_counter() - start
+    print(f"trained {args.train_steps} sampled-softmax steps in {elapsed:.1f}s "
+          f"(final loss {loss_value:.4f})")
+    model.eval()
+    return model
+
+
+# ----------------------------------------------------------------------
+# The two arms
+# ----------------------------------------------------------------------
+
+
+def arm_configs(args) -> dict:
+    from repro.serving import ServingConfig
+
+    return {
+        "serve_fast": ServingConfig(
+            k=args.k,
+            table_dtype="float16",
+            topk="blocked",
+            micro_batch=32,
+            max_wait_ms=2.0,
+            batching=True,
+            reuse_user_state=True,
+        ),
+        "serve_naive": ServingConfig(
+            k=args.k,
+            table_dtype="float32",
+            topk="full_sort",
+            batching=False,
+            reuse_user_state=False,
+        ),
+    }
+
+
+def fidelity_gate(args, model, traffic: Traffic, rng) -> dict:
+    """HR@10/NDCG@10 of the fp16-blocked arm vs the f32 full-sort arm.
+
+    Both arms rank the same held-out users against the same hidden
+    successor targets (targets never appear in the history, so
+    seen-masking cannot hide them).
+    """
+    from repro.serving import RecommenderService
+
+    histories, targets = [], []
+    for _ in range(args.eval_users):
+        length = int(rng.integers(5, args.max_len + 1))
+        while True:
+            history = traffic.history(length, rng)
+            target = int(traffic.succ[history[-1]])
+            if target not in history:
+                break
+        histories.append(history)
+        targets.append(target)
+    targets = np.asarray(targets)
+
+    metrics = {}
+    for name, config in arm_configs(args).items():
+        with RecommenderService(model, config) as service:
+            for user, history in enumerate(histories):
+                service.observe_history(user, history)
+            results = service.recommend_many(range(len(histories)), k=args.k)
+        ids = np.concatenate([r.ids for r in results], axis=0)
+        hit = ids == targets[:, None]
+        ranks = np.argmax(hit, axis=1)
+        found = hit.any(axis=1)
+        hr = float(found.mean())
+        ndcg = float(np.where(found, 1.0 / np.log2(ranks + 2), 0.0).mean())
+        metrics[name] = {"HR@10": round(hr, 4), "NDCG@10": round(ndcg, 4)}
+        print(f"[{name:>11}] fidelity: HR@10 {hr:.4f}  NDCG@10 {ndcg:.4f}")
+    delta = max(
+        abs(metrics["serve_fast"]["HR@10"] - metrics["serve_naive"]["HR@10"]),
+        abs(metrics["serve_fast"]["NDCG@10"] - metrics["serve_naive"]["NDCG@10"]),
+    )
+    ok = delta <= FIDELITY_TOLERANCE
+    print(f"fidelity max |delta| {delta:.4f} "
+          f"({'within' if ok else 'EXCEEDS'} {FIDELITY_TOLERANCE})")
+    return {"arms": metrics, "max_abs_delta": round(delta, 4),
+            "tolerance": FIDELITY_TOLERANCE, "ok": ok}
+
+
+def replay_segment(
+    service, users, events, writes, latencies, offset, concurrency
+) -> float:
+    """Closed-loop replay of one pre-drawn request segment; returns wall."""
+    count = len(users)
+    cursor = [0]
+    cursor_lock = threading.Lock()
+
+    def worker() -> None:
+        while True:
+            with cursor_lock:
+                i = cursor[0]
+                if i >= count:
+                    return
+                cursor[0] += 1
+            if writes[i]:
+                service.observe(int(users[i]), int(events[i]))
+            start = time.perf_counter()
+            service.recommend(int(users[i]))
+            latencies[offset + i] = (time.perf_counter() - start) * 1000.0
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, daemon=True) for _ in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - start
+
+
+def latency_ab(args, model, traffic: Traffic, rng) -> dict:
+    """Interleaved closed-loop Zipf replay of both arms."""
+    from repro.serving import RecommenderService
+
+    # Resident sessions, identical in both arms.
+    user_histories = [
+        traffic.history(int(rng.integers(5, args.max_len + 1)), rng)
+        for _ in range(args.users)
+    ]
+    # Pre-draw the whole request stream once; both arms replay the
+    # same users and events in the same order.
+    ranks = np.arange(1, args.users + 1, dtype=np.float64)
+    probs = ranks ** (-args.zipf_a)
+    probs /= probs.sum()
+    by_rank = rng.permutation(args.users)
+    users = by_rank[rng.choice(args.users, size=args.requests, p=probs)]
+    events = traffic.draw_items(args.requests, rng)
+    writes = rng.random(args.requests) < args.observe_prob
+
+    services, latencies, walls = {}, {}, {}
+    for name, config in arm_configs(args).items():
+        services[name] = RecommenderService(model, config)
+        for user, history in enumerate(user_histories):
+            services[name].observe_history(user, history)
+        latencies[name] = np.zeros(args.requests)
+        walls[name] = 0.0
+        # warm up: table snapshot + one request outside the timing
+        services[name].recommend(0)
+
+    per_round = max(args.requests // args.rounds, 1)
+    for round_idx in range(args.rounds):  # interleaved A/B/A/B
+        lo = round_idx * per_round
+        hi = args.requests if round_idx == args.rounds - 1 else lo + per_round
+        if lo >= hi:
+            continue
+        for name, service in services.items():
+            walls[name] += replay_segment(
+                service, users[lo:hi], events[lo:hi], writes[lo:hi],
+                latencies[name], lo, args.concurrency,
+            )
+
+    summary = {}
+    for name, service in services.items():
+        lat = latencies[name]
+        stats = service.stats()
+        service.close()
+        summary[name] = {
+            "p50_ms": round(float(np.percentile(lat, 50)), 3),
+            "p99_ms": round(float(np.percentile(lat, 99)), 3),
+            "qps": round(args.requests / walls[name], 1) if walls[name] else 0.0,
+            "mean_batch_size": round(stats["mean_batch_size"], 2),
+            "encodes": stats["encodes"],
+            "user_vec_reuses": stats["user_vec_reuses"],
+            "table_dtype": stats["table_dtype"],
+            "table_mb": round(stats["table_nbytes"] / 1e6, 1),
+        }
+        print(f"[{name:>11}] p50 {summary[name]['p50_ms']:8.2f} ms  "
+              f"p99 {summary[name]['p99_ms']:8.2f} ms  "
+              f"{summary[name]['qps']:8.1f} QPS  "
+              f"(mean batch {summary[name]['mean_batch_size']:.1f}, "
+              f"encodes {summary[name]['encodes']})")
+    return summary
+
+
+def main() -> int:
+    args = build_parser().parse_args()
+    rng = np.random.default_rng(args.seed)
+    traffic = Traffic(args.num_items, args.zipf_a, rng)
+
+    model = train_model(args, traffic, rng)
+    fidelity = fidelity_gate(args, model, traffic, rng)
+    summary = latency_ab(args, model, traffic, rng)
+
+    p50_speedup = summary["serve_naive"]["p50_ms"] / summary["serve_fast"]["p50_ms"]
+    qps_speedup = (
+        summary["serve_fast"]["qps"] / summary["serve_naive"]["qps"]
+        if summary["serve_naive"]["qps"] else 0.0
+    )
+    print(f"fast-arm speedup over naive: {p50_speedup:.1f}x p50 latency, "
+          f"{qps_speedup:.1f}x QPS (V={args.num_items}, "
+          f"concurrency={args.concurrency}, {args.dtype} model)")
+
+    record = {
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git": _git_revision(),
+        "model": "SLIME4Rec",
+        "dtype": args.dtype,
+        "num_items": args.num_items,
+        "max_len": args.max_len,
+        "hidden_dim": args.hidden_dim,
+        "train_steps": args.train_steps,
+        "users": args.users,
+        "requests": args.requests,
+        "rounds": args.rounds,
+        "concurrency": args.concurrency,
+        "observe_prob": args.observe_prob,
+        "zipf_a": args.zipf_a,
+        "k": args.k,
+        "p50_speedup_fast_over_naive": round(p50_speedup, 2),
+        "qps_speedup_fast_over_naive": round(qps_speedup, 2),
+        "arms": summary,
+        "fidelity": fidelity,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"serving A/B record written to {OUT_PATH}")
+
+    if not args.no_record and not os.environ.get("PERF_SMOKE_NO_RECORD"):
+        with HISTORY_PATH.open("a", encoding="utf-8") as fh:
+            for name in summary:
+                fh.write(json.dumps({
+                    "date": record["date"],
+                    "git": record["git"],
+                    "dtype": args.dtype,
+                    "variant": name,
+                    "step_ms": summary[name]["p50_ms"],
+                    "p99_ms": summary[name]["p99_ms"],
+                    "qps": summary[name]["qps"],
+                    "dataset": "random-ids",
+                    "num_items": args.num_items,
+                    "max_len": args.max_len,
+                    "hidden_dim": args.hidden_dim,
+                    "concurrency": args.concurrency,
+                    "model": "SLIME4Rec",
+                }) + "\n")
+        print(f"variant-tagged serving records appended to {HISTORY_PATH}")
+    return 0 if fidelity["ok"] else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -4,7 +4,10 @@
 Runs a 5-step SLIME4Rec training loop in **both dtypes** (the float64
 default and the float32 fast path) plus one full-catalog evaluation
 pass on the synthetic beauty preset, and exits non-zero when any of
-them exceeds its wall-clock budget.  The budgets are deliberately
+them exceeds its wall-clock budget.  A **serving smoke** follows: an
+inline Zipf replay through the fast online arm (float16 item table +
+blocked top-k, ``repro.serving``) whose p50/p99 are gated the same way
+under the ``serve_p50`` / ``serve_p99`` history variants.  The budgets are deliberately
 loose (several times the expected duration on a loaded CI worker): the
 goal is to catch order-of-magnitude regressions — an accidentally
 quadratic path, a dropped cache, a float-pow in a hot loop, a silent
@@ -32,7 +35,10 @@ Usage::
     PYTHONPATH=src python benchmarks/check_perf_smoke.py
 
 Environment overrides: ``PERF_SMOKE_TRAIN_BUDGET_S`` (default 15),
-``PERF_SMOKE_EVAL_BUDGET_S`` (default 5), ``PERF_SMOKE_NO_RECORD``,
+``PERF_SMOKE_EVAL_BUDGET_S`` (default 5), ``PERF_SMOKE_SERVE_BUDGET_MS``
+(default 250, the static serving-p99 ceiling),
+``PERF_SMOKE_SERVE_SLACK_MS`` (default 2, absolute grace on the serving
+history gate), ``PERF_SMOKE_NO_RECORD``,
 ``PERF_SMOKE_NO_HISTORY``, ``PERF_SMOKE_HISTORY_FACTOR``.
 No pytest or pytest-benchmark dependency — plain stdlib + the repo
 itself.
@@ -62,6 +68,20 @@ GEOMETRY = {
     "model": "SLIME4Rec",
 }
 
+#: Geometry of the serving-smoke records (variants ``serve_p50`` /
+#: ``serve_p99``): an inline fp16-table blocked-top-k replay on the
+#: same preset/model as the training smoke.
+SERVING_GEOMETRY = {
+    "dataset": "beauty",
+    "scale": 0.2,
+    "max_len": 32,
+    "hidden_dim": 64,
+    "model": "SLIME4Rec",
+    "table_dtype": "float16",
+    "topk": "blocked",
+    "requests": 250,
+}
+
 #: Timed optimizer steps per dtype (shared by measurement and budget math).
 STEPS = 5
 
@@ -76,16 +96,19 @@ HISTORY_MIN_RECORDS = 3
 DEFAULT_VARIANT = "default"
 
 
-def _history_median(dtype: str, variant: str = DEFAULT_VARIANT) -> tuple:
+def _history_median(
+    dtype: str, variant: str = DEFAULT_VARIANT, geometry: dict = GEOMETRY
+) -> tuple:
     """Median ``step_ms`` of recent history records matching this config.
 
     Returns ``(median, count)``; ``(None, count)`` when fewer than
     ``HISTORY_MIN_RECORDS`` comparable records exist.  Only records
-    whose dtype, *variant* and full geometry match count — a record
+    whose dtype, *variant* and full ``geometry`` match count — a record
     taken at a different batch size or model, or under a different loss
     variant (sampled-CE vs the default full softmax), is not a
     baseline.  Records predating the variant field count as
-    ``"default"``.
+    ``"default"``.  Each record family (training smoke, serving smoke,
+    standalone benchmarks) passes its own geometry dict.
     """
     if not HISTORY_PATH.exists():
         return None, 0
@@ -102,7 +125,7 @@ def _history_median(dtype: str, variant: str = DEFAULT_VARIANT) -> tuple:
             continue
         if rec.get("variant", DEFAULT_VARIANT) != variant:
             continue
-        if any(rec.get(key) != value for key, value in GEOMETRY.items()):
+        if any(rec.get(key) != value for key, value in geometry.items()):
             continue
         if isinstance(rec.get("step_ms"), (int, float)):
             times.append(float(rec["step_ms"]))
@@ -163,6 +186,52 @@ def _measure(dataset, dtype: str, steps: int = STEPS):
         "eval_s": eval_elapsed,
         "losses": losses,
         "result": result,
+    }
+
+
+def _measure_serving(dataset):
+    """Inline Zipf replay through the fast serving arm; p50/p99 in ms.
+
+    Single-threaded and unbatched (``batching=False``) so the numbers
+    measure the serving pipeline itself — encode, fp16-table scoring,
+    blocked top-k — without collector-wait or thread-scheduling noise.
+    """
+    import numpy as np
+
+    from repro.baselines import build_baseline
+    from repro.serving import RecommenderService, ServingConfig
+
+    model = build_baseline(
+        SERVING_GEOMETRY["model"], dataset,
+        hidden_dim=SERVING_GEOMETRY["hidden_dim"], seed=0, dtype="float32",
+    )
+    config = ServingConfig(
+        table_dtype=SERVING_GEOMETRY["table_dtype"],
+        topk=SERVING_GEOMETRY["topk"],
+        batching=False,
+    )
+    requests = SERVING_GEOMETRY["requests"]
+    rng = np.random.default_rng(0)
+    ranks = np.arange(1, dataset.num_users + 1, dtype=np.float64)
+    probs = ranks ** -1.2
+    probs /= probs.sum()
+    users = rng.choice(dataset.num_users, size=requests, p=probs)
+    events = rng.integers(1, dataset.num_items + 1, size=requests)
+    latencies = []
+    with RecommenderService(model, config) as service:
+        for user_id, seq in enumerate(dataset.sequences):
+            service.observe_history(user_id, seq[-dataset.max_len:])
+        service.recommend(0)  # warmup: table snapshot outside the timing
+        for i in range(requests):
+            if i % 4 == 0:  # a 25% write mix, as in the latency bench
+                service.observe(int(users[i]), int(events[i]))
+            start = time.perf_counter()
+            service.recommend(int(users[i]))
+            latencies.append((time.perf_counter() - start) * 1000.0)
+    latencies.sort()
+    return {
+        "p50_ms": latencies[len(latencies) // 2],
+        "p99_ms": latencies[min(int(len(latencies) * 0.99), len(latencies) - 1)],
     }
 
 
@@ -251,6 +320,66 @@ def main() -> int:
             print("FAIL: float32 step is persistently slower than float64 — "
                   "a widening copy likely crept into the hot path", file=sys.stderr)
             ok = False
+
+    # --- serving smoke: the online path must not regress either -------
+    serve_budget = float(os.environ.get("PERF_SMOKE_SERVE_BUDGET_MS", "250"))
+    # Millisecond-scale percentiles jitter multiplicatively on a loaded
+    # worker, so the history gate gets a small absolute grace on top of
+    # the ratio — it exists to catch order-of-magnitude regressions
+    # (a full sort sneaking back in), not 2 ms of scheduler noise.
+    serve_slack = float(os.environ.get("PERF_SMOKE_SERVE_SLACK_MS", "2"))
+
+    def _serve_failures(m) -> list:
+        failures = []
+        if m["p99_ms"] > serve_budget:
+            failures.append(
+                f"serving p99 {m['p99_ms']:.1f} ms over static budget "
+                f"{serve_budget:.0f} ms"
+            )
+        if use_history:
+            for stat in ("p50", "p99"):
+                median, count = _history_median(
+                    "float32", f"serve_{stat}", SERVING_GEOMETRY
+                )
+                if median is None:
+                    print(f"[serving] {stat} history gate skipped ({count} "
+                          f"comparable records, need {HISTORY_MIN_RECORDS})")
+                    continue
+                limit = history_factor * median + serve_slack
+                print(f"[serving] {stat} history gate: {m[stat + '_ms']:.2f} ms "
+                      f"vs rolling median {median:.2f} ms over {count} records "
+                      f"(limit {limit:.2f} ms)")
+                if m[stat + "_ms"] > limit:
+                    failures.append(
+                        f"serving {stat} regressed "
+                        f"{m[stat + '_ms'] / median:.2f}x over the rolling "
+                        f"median ({m[stat + '_ms']:.1f} ms > {limit:.1f} ms)"
+                    )
+        return failures
+
+    serving = _measure_serving(dataset)
+    print(f"[serving] inline fp16-blocked replay: p50 {serving['p50_ms']:.2f} ms  "
+          f"p99 {serving['p99_ms']:.2f} ms")
+    failures = _serve_failures(serving)
+    if failures:
+        print("[serving] over a limit — re-measuring once to rule out a "
+              "loaded worker")
+        serving = _measure_serving(dataset)
+        print(f"[serving] re-run: p50 {serving['p50_ms']:.2f} ms  "
+              f"p99 {serving['p99_ms']:.2f} ms")
+        failures = _serve_failures(serving)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            ok = False
+    for stat in ("p50", "p99"):
+        records.append({
+            "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "git": _git_revision(),
+            "dtype": "float32",
+            "variant": f"serve_{stat}",
+            "step_ms": round(serving[stat + "_ms"], 3),
+            **SERVING_GEOMETRY,
+        })
 
     if not ok:
         # A failing run must not write its regressed step times into the

@@ -242,10 +242,71 @@ class SequentialEncoderBase(Module):
 
         ``context`` is an optional :meth:`score_context` result; when
         given, scoring is a single GEMM against the cached table.
+
+        The whole scoring pass runs under :func:`no_grad` regardless of
+        the caller's grad mode: evaluation only consumes ``.data``, so
+        building (and immediately garbage-collecting) an autograd graph
+        per request was pure bookkeeping overhead — every intermediate
+        tensor allocated a node, parents tuple and backward closure.
         """
-        if context is not None:
-            return self.user_representation(input_ids).data @ context
-        return self.logits(input_ids).data
+        with no_grad():
+            if context is not None:
+                return self.user_representation(input_ids).data @ context
+            return self.logits(input_ids).data
+
+    # ------------------------------------------------------------------
+    # Inference-state hooks (the serving path, repro.serving)
+    # ------------------------------------------------------------------
+    def inference_version(self) -> int:
+        """Staleness token for inference caches derived from parameters.
+
+        Any cached scoring state (a :meth:`score_context` table, a
+        serving-side half-precision item table, a per-user encoded
+        vector) is valid only while this token is unchanged.  It is the
+        process-global parameter-mutation epoch
+        (:func:`repro.autograd.tensor.parameter_version`, bumped by
+        optimizer steps, ``load_state_dict`` and ``Module.to``), so it
+        can tick without *this* model having changed — a spurious
+        rebuild, never a stale serve.  Mutating parameter ``.data``
+        buffers by hand bypasses the counter; call
+        :func:`repro.autograd.tensor.bump_parameter_version` after
+        doing that.
+        """
+        from repro.autograd.tensor import parameter_version
+
+        return parameter_version()
+
+    def encode_users(
+        self, input_ids: np.ndarray, batch_size: int | None = None
+    ) -> np.ndarray:
+        """Encode ``(B, N)`` history windows into ``(B, d)`` user vectors.
+
+        The serving micro-batch entry point: one stacked
+        :meth:`encode_states` graph walk for the whole batch (the same
+        batch-axis stacking :meth:`encode_views` uses for training
+        views), run entirely under :func:`no_grad` so no autograd graph
+        is built.  Returns a plain numpy array in the model dtype; a
+        single ``(N,)`` window is accepted and returns ``(1, d)``.
+
+        Call with the model in eval mode — dropout must be off for the
+        encoding to be a deterministic function of the window, which is
+        what makes per-user caching of the result sound.  ``batch_size``
+        optionally chunks very large batches to bound peak activation
+        memory; results are row-identical to the unchunked call only up
+        to BLAS/FFT batch-shape reassociation (bitwise in practice for
+        float64, ~1e-6 relative for float32).
+        """
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim == 1:
+            input_ids = input_ids[None, :]
+        with no_grad():
+            if batch_size is None or input_ids.shape[0] <= batch_size:
+                return self.user_representation(input_ids).data
+            chunks = [
+                self.user_representation(input_ids[start : start + batch_size]).data
+                for start in range(0, input_ids.shape[0], batch_size)
+            ]
+            return np.concatenate(chunks, axis=0)
 
     def negative_sampler(self) -> NegativeSampler:
         """The model's shared training :class:`NegativeSampler` (lazy).

@@ -1,0 +1,32 @@
+"""Online serving subsystem: ``user history -> top-k`` at low latency.
+
+The production-facing counterpart of the training stack (ROADMAP
+"online inference service" item).  Four cooperating pieces:
+
+- :class:`~repro.serving.session.UserSession` /
+  :class:`~repro.serving.session.SessionCache` — ring-buffered
+  per-user history windows with cached encoder state and LRU bounds;
+- :class:`~repro.serving.table.ItemTable` — eval-only (float16 by
+  default) snapshots of the item-score table with staleness detection;
+- :mod:`repro.evaluation.topk` — blocked ``argpartition`` top-k shared
+  with the evaluation stack;
+- :class:`~repro.serving.service.RecommenderService` — the synchronous
+  request API tying them together behind a micro-batching collector.
+
+Entry points: ``python -m repro.serving.cli`` (the ``repro-serve``
+command) for replay benchmarks and ad-hoc queries;
+``benchmarks/bench_serving_latency.py`` for the committed p50/p99/QPS
+A/B under Zipfian traffic.
+"""
+
+from repro.serving.session import SessionCache, UserSession
+from repro.serving.table import ItemTable
+from repro.serving.service import RecommenderService, ServingConfig
+
+__all__ = [
+    "SessionCache",
+    "UserSession",
+    "ItemTable",
+    "RecommenderService",
+    "ServingConfig",
+]

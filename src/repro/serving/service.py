@@ -1,0 +1,358 @@
+"""Synchronous online recommender service: ``user history -> top-k``.
+
+:class:`RecommenderService` composes the serving subsystem's four
+pieces into one request path:
+
+1. **Cached user state** (:mod:`repro.serving.session`): each user's
+   recent-history window lives in a ring buffer; the encoded ``(d,)``
+   user vector is cached on the session and reused until a new event
+   or a parameter update invalidates it.
+2. **Request micro-batching**: concurrent callers' dirty sessions are
+   stacked into one ``(B, N)`` ``encode_users`` graph walk — the same
+   batch-axis stacking the training-side ``encode_views`` uses — behind
+   a max-batch / max-wait collector thread.  ``recommend`` stays a
+   plain synchronous call; the batching is invisible to callers.
+3. **Half-precision item table** (:mod:`repro.serving.table`): scoring
+   runs against an eval-only float16 snapshot of the item embeddings,
+   cast and GEMM'd block-by-block in float32.
+4. **Blocked top-k** (:mod:`repro.evaluation.topk`): each score block
+   folds straight into an ``argpartition`` candidate pool with
+   seen-item masking; the full ``(B, V)`` score matrix and any full
+   catalog sort never materialize.
+
+Every piece degrades independently through :class:`ServingConfig` —
+``batching=False`` serves inline in the caller's thread,
+``reuse_user_state=False`` re-encodes every request,
+``table_dtype="float32"`` / ``topk="full_sort"`` select the reference
+arms — which is exactly how ``benchmarks/bench_serving_latency.py``
+builds its naive baseline.
+
+Consistency contract: one batch is scored under one parameter version.
+The service checks :meth:`ItemTable.is_stale` per batch and refreshes
+the table before scoring; cached user vectors carry the version they
+were encoded under and are re-encoded when it no longer matches, so a
+response never mixes user vectors and item tables from different
+parameter states (pinned by ``tests/test_serving.py``).
+
+The service owns one lock; session mutation, encoding and scoring all
+run under it.  With batching enabled the collector thread is the only
+scorer, so callers merely enqueue and wait.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.topk import TopKAccumulator, TopKResult, full_sort_topk
+from repro.serving.session import SessionCache
+from repro.serving.table import ItemTable
+
+__all__ = ["ServingConfig", "RecommenderService"]
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of the serving path; defaults are the production-fast arm."""
+
+    #: recommendations per request (overridable per call)
+    k: int = 10
+    #: item-table snapshot dtype: "float16" | "float32" | "float64" | "model"
+    table_dtype: str = "float16"
+    #: catalog column-block width for blocked scoring / top-k
+    block_size: int = 8192
+    #: "blocked" (argpartition pool) or "full_sort" (naive reference)
+    topk: str = "blocked"
+    #: stack up to this many concurrent requests into one encode
+    micro_batch: int = 32
+    #: how long the collector waits for a fuller batch (milliseconds)
+    max_wait_ms: float = 2.0
+    #: False serves inline in the caller's thread (no collector thread)
+    batching: bool = True
+    #: LRU bound on resident sessions (None = unbounded)
+    cache_capacity: Optional[int] = None
+    #: False re-encodes the window on every request (naive reference)
+    reuse_user_state: bool = True
+    #: mask items present in the user's window out of the results
+    exclude_seen: bool = True
+    #: rebuild the item table when model parameters changed
+    auto_refresh: bool = True
+    #: chunk very large encode batches (None = single stacked walk)
+    encode_batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.topk not in ("blocked", "full_sort"):
+            raise ValueError(f"topk must be 'blocked' or 'full_sort', got {self.topk!r}")
+        if self.micro_batch < 1:
+            raise ValueError(f"micro_batch must be >= 1, got {self.micro_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+
+
+class _Request:
+    """One in-flight recommend call parked on the collector queue."""
+
+    __slots__ = ("user_id", "k", "event", "result", "error")
+
+    def __init__(self, user_id, k: int) -> None:
+        self.user_id = user_id
+        self.k = k
+        self.event = threading.Event()
+        self.result: Optional[TopKResult] = None
+        self.error: Optional[BaseException] = None
+
+
+class RecommenderService:
+    """Serve top-k recommendations from a trained sequential model.
+
+    The model is put in eval mode at construction (dropout off — the
+    cached-state contract requires encoding to be deterministic) and
+    must stay there; train it elsewhere and the next batch picks up the
+    new parameters via the staleness check.
+
+    ``num_items`` defaults to ``model.num_items``; recommendations are
+    item ids in ``1..num_items`` (the padding column 0 is always
+    excluded).
+    """
+
+    def __init__(self, model, config: Optional[ServingConfig] = None) -> None:
+        self.model = model
+        self.config = config or ServingConfig()
+        model.eval()
+        self.num_items = int(model.num_items)
+        self._lock = threading.Lock()
+        self._table = ItemTable(
+            model, dtype=self.config.table_dtype, block_size=self.config.block_size
+        )
+        self.sessions = SessionCache(
+            model.max_len, capacity=self.config.cache_capacity
+        )
+        # collector state (started lazily on the first batched request)
+        self._queue: List[_Request] = []
+        self._cond = threading.Condition()
+        self._collector: Optional[threading.Thread] = None
+        self._closed = False
+        # counters (read via stats())
+        self._requests = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._encoded = 0
+        self._vec_reuses = 0
+
+    # ------------------------------------------------------------------
+    # Event ingestion
+    # ------------------------------------------------------------------
+    def observe(self, user_id, item_id: int) -> None:
+        """Record one interaction event (O(1); no encode happens here)."""
+        with self._lock:
+            self.sessions.get_or_create(user_id).append(item_id)
+
+    def observe_history(self, user_id, item_ids: Iterable[int]) -> None:
+        """Reset a user's session to a known history (cold start)."""
+        with self._lock:
+            self.sessions.get_or_create(user_id).replace_history(item_ids)
+
+    # ------------------------------------------------------------------
+    # Recommendation
+    # ------------------------------------------------------------------
+    def recommend(self, user_id, k: Optional[int] = None) -> TopKResult:
+        """Top-k items for one user; synchronous, thread-safe.
+
+        With batching enabled the request parks on the collector queue
+        and is served together with whatever concurrent requests arrive
+        within the max-batch / max-wait window; otherwise it is served
+        inline.  Returns a :class:`TopKResult` with ``(1, k')`` rows.
+        """
+        request = _Request(user_id, int(k) if k is not None else self.config.k)
+        if request.k < 1:
+            raise ValueError(f"k must be >= 1, got {request.k}")
+        self._requests += 1
+        if not self.config.batching:
+            self._serve_batch([request])
+        else:
+            with self._cond:
+                if self._closed:
+                    raise RuntimeError("RecommenderService is closed")
+                self._ensure_collector()
+                self._queue.append(request)
+                self._cond.notify_all()
+            if not request.event.wait(timeout=120.0):
+                raise RuntimeError("serving request timed out (collector stuck?)")
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    def recommend_many(
+        self, user_ids: Sequence, k: Optional[int] = None
+    ) -> List[TopKResult]:
+        """Serve several users as one explicit batch (no collector).
+
+        The offline counterpart of the micro-batcher: one stacked
+        encode and one blocked scoring pass for the whole list.
+        """
+        k = int(k) if k is not None else self.config.k
+        requests = [_Request(user_id, k) for user_id in user_ids]
+        self._requests += len(requests)
+        self._serve_batch(requests)
+        for request in requests:
+            if request.error is not None:
+                raise request.error
+        return [request.result for request in requests]
+
+    # ------------------------------------------------------------------
+    # Collector thread
+    # ------------------------------------------------------------------
+    def _ensure_collector(self) -> None:
+        if self._collector is None or not self._collector.is_alive():
+            self._collector = threading.Thread(
+                target=self._collector_loop, name="repro-serve-collector", daemon=True
+            )
+            self._collector.start()
+
+    def _collector_loop(self) -> None:
+        max_batch = self.config.micro_batch
+        max_wait = self.config.max_wait_ms / 1000.0
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._queue:
+                    return
+                deadline = time.monotonic() + max_wait
+                while len(self._queue) < max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch = self._queue[:max_batch]
+                del self._queue[:max_batch]
+            try:
+                self._serve_batch(batch)
+            except BaseException as exc:  # propagate to the waiters, keep serving
+                for request in batch:
+                    if request.error is None and request.result is None:
+                        request.error = exc
+                        request.event.set()
+
+    # ------------------------------------------------------------------
+    # The batch pipeline
+    # ------------------------------------------------------------------
+    def _serve_batch(self, requests: List[_Request]) -> None:
+        """Encode (only) dirty sessions, score blocked, rank, fulfill."""
+        if not requests:
+            return
+        try:
+            with self._lock:
+                table = self._table
+                if self.config.auto_refresh and table.is_stale(self.model):
+                    table.refresh(self.model)
+                version = table.version
+                sessions = [
+                    self.sessions.get_or_create(r.user_id) for r in requests
+                ]
+                reuse = self.config.reuse_user_state
+                dirty = [
+                    i
+                    for i, s in enumerate(sessions)
+                    if not (reuse and s.is_fresh(version))
+                ]
+                self._vec_reuses += len(sessions) - len(dirty)
+                if dirty:
+                    windows = np.stack([sessions[i].window() for i in dirty])
+                    vecs = self.model.encode_users(
+                        windows, batch_size=self.config.encode_batch_size
+                    )
+                    self._encoded += len(dirty)
+                    for row, i in enumerate(dirty):
+                        sessions[i].store_vec(vecs[row], version)
+                users = table.prepare_users(
+                    np.stack([s.user_vec for s in sessions])
+                )
+                exclude = (
+                    [s.seen() for s in sessions] if self.config.exclude_seen else None
+                )
+                k = max(r.k for r in requests)
+                result = self._rank(users, k, exclude)
+                self._batches += 1
+                self._batched_requests += len(requests)
+            for row, request in enumerate(requests):
+                request.result = TopKResult(
+                    ids=result.ids[row : row + 1, : request.k],
+                    scores=result.scores[row : row + 1, : request.k],
+                )
+                request.event.set()
+        except BaseException as exc:
+            for request in requests:
+                if request.result is None and request.error is None:
+                    request.error = exc
+                    request.event.set()
+            raise
+
+    def _rank(
+        self,
+        users: np.ndarray,
+        k: int,
+        exclude: Optional[List[np.ndarray]],
+    ) -> TopKResult:
+        table = self._table
+        if self.config.topk == "full_sort":
+            scores = table.score_all(users)
+            return full_sort_topk(scores, k, exclude=exclude, exclude_padding=True)
+        acc = TopKAccumulator(users.shape[0], k)
+        for start in range(0, table.num_columns, self.config.block_size):
+            stop = min(start + self.config.block_size, table.num_columns)
+            block = table.score_block(users, start, stop)
+            acc.update(
+                start, block, exclude=exclude, exclude_padding=True, writable=True
+            )
+        return acc.result()
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def refresh_table(self) -> None:
+        """Force a table re-snapshot (normally automatic per batch)."""
+        with self._lock:
+            self._table.refresh(self.model)
+
+    @property
+    def table(self) -> ItemTable:
+        return self._table
+
+    def stats(self) -> dict:
+        """Serving counters: request/batch/encode/cache-hit accounting."""
+        with self._lock:
+            batches = max(self._batches, 1)
+            return {
+                "requests": self._requests,
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+                "mean_batch_size": self._batched_requests / batches,
+                "encodes": self._encoded,
+                "user_vec_reuses": self._vec_reuses,
+                "sessions": len(self.sessions),
+                "session_evictions": self.sessions.evictions,
+                "table_refreshes": self._table.refreshes,
+                "table_dtype": str(self._table.table.dtype),
+                "table_nbytes": self._table.nbytes(),
+            }
+
+    def close(self) -> None:
+        """Stop the collector thread; pending requests are still served."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._collector is not None:
+            self._collector.join(timeout=10.0)
+
+    def __enter__(self) -> "RecommenderService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

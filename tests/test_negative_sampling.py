@@ -301,6 +301,65 @@ class TestSampledSoftmaxLoss:
         assert float(a.data) != float(b.data)
 
 
+@pytest.mark.parametrize("dup_hits", [False, True], ids=["clean", "dup-hits"])
+@pytest.mark.parametrize("masked", [False, True], ids=["all-rows", "ignore-index"])
+@pytest.mark.parametrize("strategy", ["uniform", "log_uniform"])
+class TestSampledSoftmaxComboSweep:
+    """combo_check-style grid over the loss's interacting options.
+
+    Every cell of sampler strategy x ignore_index x accidental-hit
+    duplication passes float64 gradcheck and, at float32, reproduces the
+    float64 analytic value/gradients while preserving the input dtype.
+    Candidates are drawn once and passed explicitly so both dtypes (and
+    the numeric/analytic sides of gradcheck) see the same set; the
+    sampler still rides along for the logQ correction, which is how the
+    trainer calls it.
+    """
+
+    def _case(self, strategy, masked, dup_hits, seed=29):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(12, 4)), requires_grad=True)
+        targets = rng.integers(1, 12, size=5)
+        sampler = NegativeSampler(11, strategy=strategy, seed=seed + 1)
+        negatives = sampler.sample(6)
+        if dup_hits:
+            # the same accidental hit twice: masking must collapse both
+            # copies, and the weight-grad scatter must accumulate the
+            # surviving duplicates exactly once each
+            negatives = np.concatenate([negatives, [int(targets[0])] * 2])
+        kwargs = dict(negatives=negatives, sampler=sampler)
+        if masked:
+            targets = targets.copy()
+            targets[2] = -1
+            kwargs["ignore_index"] = -1
+        return x, w, targets, kwargs
+
+    def test_gradcheck_float64(self, strategy, masked, dup_hits):
+        x, w, targets, kwargs = self._case(strategy, masked, dup_hits)
+        gradcheck(
+            lambda a, b: F.sampled_softmax_loss(a, b, targets, **kwargs), [x, w]
+        )
+
+    def test_float32_matches_float64_and_keeps_dtype(
+        self, strategy, masked, dup_hits
+    ):
+        x64, w64, targets, kwargs = self._case(strategy, masked, dup_hits)
+        loss64 = F.sampled_softmax_loss(x64, w64, targets, **kwargs)
+        loss64.backward()
+        x32 = Tensor(x64.data.astype(np.float32), requires_grad=True)
+        w32 = Tensor(w64.data.astype(np.float32), requires_grad=True)
+        loss32 = F.sampled_softmax_loss(x32, w32, targets, **kwargs)
+        loss32.backward()
+        assert loss32.data.dtype == np.float32
+        assert x32.grad.dtype == np.float32 and w32.grad.dtype == np.float32
+        np.testing.assert_allclose(
+            float(loss32.data), float(loss64.data), rtol=1e-5, atol=1e-6
+        )
+        np.testing.assert_allclose(x32.grad, x64.grad, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(w32.grad, w64.grad, rtol=1e-4, atol=1e-5)
+
+
 # ----------------------------------------------------------------------
 # Model / config / registry plumbing
 # ----------------------------------------------------------------------
