@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Static-graph tape replay vs the dynamic engine: what does capture buy?
+
+The dynamic engine re-walks every module ``__call__`` and rebuilds the
+autograd graph on every optimizer step.  The static-graph executor
+(``repro.autograd.graph``) captures one step into a tape and replays it
+as a flat loop of kernel calls — bitwise-identical numbers (the replay
+runs the same numpy expressions in the same order), no per-step graph
+construction.  This benchmark measures how much of a step that
+Python-side work actually is at the training smoke geometry.
+
+Two identical float32 SLIME4Rec models run the same optimizer loop on
+the same batch, interleaved in alternating blocks (A/B/A/B, cancelling
+thermal and cache drift): one through a :class:`TapeExecutor` (first
+step captures, the rest replay), one through plain ``loss.backward()``.
+Before any timing, a bitwise equality cell asserts the two arms produce
+identical losses and parameters over the warmup steps — a benchmark of
+a wrong fast path is worthless.  Writes:
+
+- ``benchmarks/results/static_graph_step_time.json`` — the committed
+  comparison record;
+- one ``variant="static_graph"`` line to
+  ``benchmarks/results/step_time_history.jsonl`` (skipped with
+  ``--no-record`` or ``PERF_SMOKE_NO_RECORD=1``); the dynamic arm is
+  not appended — it would shadow the perf smoke's ``default`` baseline
+  with a different timing loop.
+
+Honesty note: the step is dominated by numpy kernels (GEMMs, FFTs,
+softmax) whose cost the tape cannot change; the replay removes module
+dispatch, graph construction and Tensor allocation — Python-side
+overhead that shrinks *relative* to kernel time as the geometry grows.
+The committed record states the measured ratio at this geometry, not a
+headline claim.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_static_graph.py
+    PYTHONPATH=src python benchmarks/bench_static_graph.py --rounds 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+OUT_PATH = RESULTS_DIR / "static_graph_step_time.json"
+HISTORY_PATH = RESULTS_DIR / "step_time_history.jsonl"
+
+
+def _git_revision() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+        return out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="beauty")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--max-len", type=int, default=32)
+    parser.add_argument("--hidden-dim", type=int, default=64)
+    parser.add_argument("--batch-size", type=int, default=128)
+    parser.add_argument("--dtype", choices=("float32", "float64"), default="float32")
+    parser.add_argument("--rounds", type=int, default=6,
+                        help="interleaved A/B rounds (blocks) per arm")
+    parser.add_argument("--block", type=int, default=5,
+                        help="optimizer steps timed per block")
+    parser.add_argument("--no-record", action="store_true",
+                        help="do not append a history line")
+    return parser
+
+
+def build_arm(args, dataset, static: bool):
+    """One (model, stepper) arm; both arms share batch geometry and seed."""
+    from repro.autograd.graph import TapeExecutor
+    from repro.baselines import build_baseline
+    from repro.data.batching import BatchIterator
+    from repro.optim import Adam
+
+    model = build_baseline(
+        "SLIME4Rec", dataset,
+        hidden_dim=args.hidden_dim, seed=0, dtype=args.dtype,
+    )
+    iterator = BatchIterator(
+        dataset, batch_size=args.batch_size, with_same_target=True, seed=0
+    )
+    batch = next(iter(iterator.epoch()))
+    optimizer = Adam(model.parameters())
+    executor = TapeExecutor(model) if static else None
+
+    def step() -> float:
+        optimizer.zero_grad()
+        if executor is not None:
+            result = executor.step(batch)
+            result.backward()
+            value = result.loss
+        else:
+            loss = model.loss(batch)
+            loss.backward()
+            value = float(loss.data)
+        optimizer.step()
+        return value
+
+    return model, step, executor
+
+
+def main() -> int:
+    args = build_parser().parse_args()
+
+    from repro.data.synthetic import load_preset
+
+    dataset = load_preset(args.dataset, scale=args.scale, max_len=args.max_len)
+
+    arms = {
+        "dynamic": build_arm(args, dataset, static=False),
+        "static_graph": build_arm(args, dataset, static=True),
+    }
+
+    # Equality cell before any timing: 3 warmup steps per arm (capture +
+    # 2 replays on the static side) must stay bitwise-identical —
+    # losses and every parameter.
+    warmup_losses = {name: [arm[1]() for _ in range(3)] for name, arm in arms.items()}
+    if warmup_losses["dynamic"] != warmup_losses["static_graph"]:
+        raise SystemExit(
+            f"FAIL: static-graph losses diverged from dynamic during warmup: "
+            f"{warmup_losses['static_graph']} != {warmup_losses['dynamic']}"
+        )
+    dynamic_params = dict(arms["dynamic"][0].named_parameters())
+    for name, p in arms["static_graph"][0].named_parameters():
+        if not np.array_equal(p.data, dynamic_params[name].data):
+            raise SystemExit(f"FAIL: parameter '{name}' diverged during warmup")
+    stats = arms["static_graph"][2].stats()
+    assert stats["captures"] == 1 and stats["replays"] == 2, stats
+    print(f"equality cell: 3 warmup steps bitwise-identical "
+          f"(losses {warmup_losses['dynamic']})")
+
+    step_ms: dict[str, list[float]] = {name: [] for name in arms}
+    for _ in range(args.rounds):  # interleaved A/B/A/B
+        for name, (_, step, _ex) in arms.items():
+            start = time.perf_counter()
+            for _ in range(args.block):
+                step()
+            step_ms[name].append(
+                (time.perf_counter() - start) / args.block * 1000.0
+            )
+
+    summary = {}
+    for name in arms:
+        times = np.asarray(step_ms[name])
+        summary[name] = {
+            "min_step_ms": round(float(times.min()), 2),
+            "median_step_ms": round(float(np.median(times)), 2),
+        }
+        print(f"[{name:>12}] min {summary[name]['min_step_ms']:8.2f} ms/step  "
+              f"median {summary[name]['median_step_ms']:8.2f} ms/step")
+    speedup = summary["dynamic"]["min_step_ms"] / summary["static_graph"]["min_step_ms"]
+    print(f"static-graph replay speedup over dynamic: {speedup:.3f}x "
+          f"({args.block} steps/block x {args.rounds} rounds, {args.dtype})")
+
+    record = {
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git": _git_revision(),
+        "dtype": args.dtype,
+        "dataset": args.dataset,
+        "scale": args.scale,
+        "max_len": args.max_len,
+        "hidden_dim": args.hidden_dim,
+        "batch_size": args.batch_size,
+        "rounds": args.rounds,
+        "block": args.block,
+        "model": "SLIME4Rec",
+        "equality_cell": "3 warmup steps bitwise-identical (losses + parameters)",
+        "speedup": round(speedup, 3),
+        "variants": summary,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"comparison record written to {OUT_PATH}")
+
+    if not args.no_record and not os.environ.get("PERF_SMOKE_NO_RECORD"):
+        with HISTORY_PATH.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "date": record["date"],
+                "git": record["git"],
+                "dtype": args.dtype,
+                "variant": "static_graph",
+                "step_ms": summary["static_graph"]["min_step_ms"],
+                "dataset": args.dataset,
+                "scale": args.scale,
+                "max_len": args.max_len,
+                "hidden_dim": args.hidden_dim,
+                "batch_size": args.batch_size,
+                "model": "SLIME4Rec",
+            }) + "\n")
+        print(f"variant-tagged step-time record appended to {HISTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -91,6 +91,44 @@ def test_train_step_batched_views_ab(benchmark, setup, name, batched):
     assert np.isfinite(result)
 
 
+@pytest.mark.parametrize("static", [True, False], ids=["static_graph", "dynamic"])
+def test_train_step_static_graph_ab(benchmark, setup, static):
+    """Tape replay vs per-step dynamic graph construction.
+
+    Float32 SLIME4Rec through the static-graph executor: the first step
+    captures the tape (outside the timing, via warmup rounds), every
+    timed step replays it as a flat loop of kernel calls.  The dynamic
+    arm runs the identical optimizer loop without an executor.  The
+    committed interleaved comparison lives in
+    ``benchmarks/results/static_graph_step_time.json``
+    (``bench_static_graph.py``).
+    """
+    from repro.autograd.graph import TapeExecutor
+
+    dataset = setup
+    model = build_baseline("SLIME4Rec", dataset, hidden_dim=64, seed=0, dtype="float32")
+    iterator = BatchIterator(dataset, batch_size=128, with_same_target=True, seed=0)
+    batch = next(iter(iterator.epoch()))
+    optimizer = Adam(model.parameters())
+    executor = TapeExecutor(model) if static else None
+
+    def step():
+        optimizer.zero_grad()
+        if executor is not None:
+            result = executor.step(batch)
+            result.backward()
+            value = result.loss
+        else:
+            loss = model.loss(batch)
+            loss.backward()
+            value = float(loss.data)
+        optimizer.step()
+        return value
+
+    result = benchmark(step)
+    assert np.isfinite(result)
+
+
 def test_train_step_chunked_ce(benchmark, setup):
     """Float32 SLIME4Rec step with the streaming chunked cross-entropy."""
     dataset = setup

@@ -4,7 +4,10 @@
 Runs a 5-step SLIME4Rec training loop in **both dtypes** (the float64
 default and the float32 fast path) plus one full-catalog evaluation
 pass on the synthetic beauty preset, and exits non-zero when any of
-them exceeds its wall-clock budget.  A **serving smoke** follows: an
+them exceeds its wall-clock budget.  A **static-graph smoke** follows:
+one capture-replay-equality cell (tape replay pinned bitwise against
+the dynamic engine, variant ``static_graph`` in the history).  Then a
+**serving smoke**: an
 inline Zipf replay through the fast online arm (float16 item table +
 blocked top-k, ``repro.serving``) whose p50/p99 are gated the same way
 under the ``serve_p50`` / ``serve_p99`` history variants.  The budgets are deliberately
@@ -189,6 +192,69 @@ def _measure(dataset, dtype: str, steps: int = STEPS):
     }
 
 
+def _measure_static_graph(dataset, steps: int = STEPS):
+    """Static-graph replay step time + the inline capture-replay equality cell.
+
+    Two identically seeded float32 models run the same batch: one
+    dynamically, one through the tape executor (first step captures,
+    later steps replay).  The cell asserts bitwise-equal losses over
+    the warmup steps — a fast path that drifts from the dynamic engine
+    must fail the smoke, not just run fast — then times ``steps``
+    replayed optimizer steps.
+    """
+    from repro.autograd.graph import TapeExecutor
+    from repro.baselines import build_baseline
+    from repro.data.batching import BatchIterator
+    from repro.optim import Adam
+
+    def build():
+        model = build_baseline(
+            GEOMETRY["model"], dataset,
+            hidden_dim=GEOMETRY["hidden_dim"], seed=0, dtype="float32",
+        )
+        iterator = BatchIterator(
+            dataset, batch_size=GEOMETRY["batch_size"], with_same_target=True, seed=0
+        )
+        batch = next(iter(iterator.epoch()))
+        return model, batch, Adam(model.parameters())
+
+    d_model, d_batch, d_opt = build()
+    s_model, s_batch, s_opt = build()
+    executor = TapeExecutor(s_model)
+
+    equal = True
+    for _ in range(3):  # capture + 2 replays, pinned against dynamic
+        d_opt.zero_grad()
+        loss = d_model.loss(d_batch)
+        loss.backward()
+        d_opt.step()
+        s_opt.zero_grad()
+        result = executor.step(s_batch)
+        result.backward()
+        s_opt.step()
+        if float(loss.data) != result.loss:
+            equal = False
+
+    def replay_step() -> float:
+        s_opt.zero_grad()
+        result = executor.step(s_batch)
+        result.backward()
+        s_opt.step()
+        return result.loss
+
+    start = time.perf_counter()
+    losses = [replay_step() for _ in range(steps)]
+    elapsed = time.perf_counter() - start
+    stats = executor.stats()
+    return {
+        "steps": steps,
+        "step_ms": elapsed / steps * 1000.0,
+        "losses": losses,
+        "equal": equal and stats["captures"] == 1 and stats["fallback_steps"] == 0,
+        "stats": stats,
+    }
+
+
 def _measure_serving(dataset):
     """Inline Zipf replay through the fast serving arm; p50/p99 in ms.
 
@@ -320,6 +386,50 @@ def main() -> int:
             print("FAIL: float32 step is persistently slower than float64 — "
                   "a widening copy likely crept into the hot path", file=sys.stderr)
             ok = False
+
+    # --- static-graph smoke: replay must stay bitwise + not regress ---
+    sg = _measure_static_graph(dataset)
+    print(f"[static_graph] equality cell: capture + replay vs dynamic "
+          f"{'bitwise-identical' if sg['equal'] else 'DIVERGED'} "
+          f"({sg['stats']['captures']} capture, {sg['stats']['replays']} replays)")
+    if not sg["equal"]:
+        print("FAIL: static-graph replay diverged from the dynamic engine",
+              file=sys.stderr)
+        ok = False
+    print(f"[static_graph] replay: {sg['steps']} steps "
+          f"({sg['step_ms']:.0f} ms/step)")
+    if not all(math.isfinite(l) for l in sg["losses"]):
+        print("FAIL: non-finite loss under static-graph replay", file=sys.stderr)
+        ok = False
+    if use_history:
+        median, count = _history_median("float32", "static_graph")
+        if median is None:
+            print(f"[static_graph] history gate skipped "
+                  f"({count} comparable records, need {HISTORY_MIN_RECORDS})")
+        else:
+            budget_ms = history_factor * median
+            print(f"[static_graph] history gate: {sg['step_ms']:.0f} ms/step vs "
+                  f"rolling median {median:.0f} ms over {count} records "
+                  f"(limit {budget_ms:.0f} ms)")
+            if sg["step_ms"] > budget_ms:
+                print("[static_graph] over the history limit — re-measuring once "
+                      "to rule out a loaded worker")
+                sg = _measure_static_graph(dataset)
+                print(f"[static_graph] re-run: {sg['step_ms']:.0f} ms/step")
+                if sg["step_ms"] > budget_ms:
+                    print(f"FAIL: static-graph step time regressed "
+                          f"{sg['step_ms'] / median:.2f}x over the rolling median "
+                          f"({sg['step_ms']:.0f} ms > {budget_ms:.0f} ms)",
+                          file=sys.stderr)
+                    ok = False
+    records.append({
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git": _git_revision(),
+        "dtype": "float32",
+        "variant": "static_graph",
+        "step_ms": round(sg["step_ms"], 2),
+        **GEOMETRY,
+    })
 
     # --- serving smoke: the online path must not regress either -------
     serve_budget = float(os.environ.get("PERF_SMOKE_SERVE_BUDGET_MS", "250"))

@@ -13,6 +13,11 @@ reproduction.  It provides:
 - :mod:`~repro.autograd.workspace`: the shared per-step compute
   workspace (scratch buffers, derived-constant caches, parameter-keyed
   caches) that the hot-path ops draw their working memory from.
+- :mod:`~repro.autograd.graph`: static-graph tape capture & replay —
+  records one dynamic training step into a :class:`~repro.autograd.graph.Tape`
+  and replays it as a flat loop of kernel calls, bitwise-identical to
+  the dynamic engine (the :class:`~repro.autograd.graph.TapeExecutor`
+  drives capture/replay/fallback for the trainer).
 - :mod:`~repro.autograd.gradcheck`: finite-difference gradient checking
   used throughout the test suite.
 """
@@ -33,8 +38,20 @@ from repro.autograd.spectral import (
     spectral_filter_reference,
 )
 from repro.autograd.gradcheck import gradcheck
+from repro.autograd.graph import (
+    GraphCaptureError,
+    Tape,
+    TapeExecutor,
+    capture,
+    is_capturing,
+)
 
 __all__ = [
+    "GraphCaptureError",
+    "Tape",
+    "TapeExecutor",
+    "capture",
+    "is_capturing",
     "Tensor",
     "no_grad",
     "is_grad_enabled",

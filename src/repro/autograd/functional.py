@@ -25,6 +25,8 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autograd.graph import GraphCaptureError, record_node
+from repro.autograd.graph import _active as _graph_active
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
 from repro.autograd.workspace import (
     dropout_view_count,
@@ -45,11 +47,31 @@ __all__ = [
 ]
 
 
-def _make(data: np.ndarray, parents: Tuple[Tensor, ...], backward) -> Tensor:
-    """Build an output tensor, recording the graph only when needed."""
+def _make(data: np.ndarray, parents: Tuple[Tensor, ...], backward, replay=None) -> Tensor:
+    """Build an output tensor, recording the graph only when needed.
+
+    ``replay`` is the op's forward closure (sharing saved state with
+    ``backward`` via ``nonlocal``): calling it re-runs the same numpy
+    expressions against the parents' *current* payloads and returns the
+    fresh output array.  Under an active static-graph capture
+    (:mod:`repro.autograd.graph`) every node — including grad-free ones,
+    whose values are still input-dependent — is recorded with its replay
+    closure; a node built without one raises :class:`GraphCaptureError`
+    naming the op, so capture validates replay-safety at record time.
+    """
     if is_grad_enabled() and any(p.requires_grad or p._backward is not None for p in parents):
-        return Tensor(data, _parents=parents, _backward=backward)
-    return Tensor(data)
+        out = Tensor(data, _parents=parents, _backward=backward)
+    else:
+        out = Tensor(data)
+    if _graph_active() is not None:
+        name = getattr(backward, "__qualname__", "op").split(".")[0]
+        if replay is None:
+            raise GraphCaptureError(
+                f"op '{name}' does not provide a replay closure and cannot "
+                "be captured into a static graph"
+            )
+        record_node(out, replay, name)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -58,12 +80,14 @@ def _make(data: np.ndarray, parents: Tuple[Tensor, ...], backward) -> Tensor:
 
 def add(a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    out = a.data + b.data
+
+    def forward():
+        return a.data + b.data
 
     def backward(grad):
         return unbroadcast(grad, a.shape), unbroadcast(grad, b.shape)
 
-    return _make(out, (a, b), backward)
+    return _make(forward(), (a, b), backward, forward)
 
 
 def add3(a, b, c) -> Tensor:
@@ -77,14 +101,17 @@ def add3(a, b, c) -> Tensor:
     (same left-to-right elementwise order).
     """
     a, b, c = as_tensor(a), as_tensor(b), as_tensor(c)
-    out = a.data + b.data  # binary + always allocates: safe to reuse
-    if (
-        out.shape == np.broadcast_shapes(out.shape, c.shape)
-        and np.result_type(out, c.data) == out.dtype
-    ):
-        out += c.data
-    else:  # c would broadcast outward or promote the dtype
-        out = out + c.data
+
+    def forward():
+        out = a.data + b.data  # binary + always allocates: safe to reuse
+        if (
+            out.shape == np.broadcast_shapes(out.shape, c.shape)
+            and np.result_type(out, c.data) == out.dtype
+        ):
+            out += c.data
+        else:  # c would broadcast outward or promote the dtype
+            out = out + c.data
+        return out
 
     def backward(grad):
         return (
@@ -93,22 +120,26 @@ def add3(a, b, c) -> Tensor:
             unbroadcast(grad, c.shape),
         )
 
-    return _make(out, (a, b, c), backward)
+    return _make(forward(), (a, b, c), backward, forward)
 
 
 def sub(a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    out = a.data - b.data
+
+    def forward():
+        return a.data - b.data
 
     def backward(grad):
         return unbroadcast(grad, a.shape), unbroadcast(-grad, b.shape)
 
-    return _make(out, (a, b), backward)
+    return _make(forward(), (a, b), backward, forward)
 
 
 def mul(a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    out = a.data * b.data
+
+    def forward():
+        return a.data * b.data
 
     def backward(grad):
         return (
@@ -116,28 +147,33 @@ def mul(a, b) -> Tensor:
             unbroadcast(grad * a.data, b.shape),
         )
 
-    return _make(out, (a, b), backward)
+    return _make(forward(), (a, b), backward, forward)
 
 
 def div(a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    out = a.data / b.data
+
+    def forward():
+        return a.data / b.data
 
     def backward(grad):
         ga = grad / b.data
         gb = -grad * a.data / (b.data * b.data)
         return unbroadcast(ga, a.shape), unbroadcast(gb, b.shape)
 
-    return _make(out, (a, b), backward)
+    return _make(forward(), (a, b), backward, forward)
 
 
 def neg(a) -> Tensor:
     a = as_tensor(a)
 
+    def forward():
+        return -a.data
+
     def backward(grad):
         return (-grad,)
 
-    return _make(-a.data, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def pow(a, exponent: float) -> Tensor:
@@ -147,90 +183,117 @@ def pow(a, exponent: float) -> Tensor:
     # numpy only fast-paths integer exponents up to 2; cubes through
     # ``**`` fall back to a transcendental pow that is ~40x slower than
     # two multiplies, so expand tiny integer powers explicitly.
-    if exponent == 2:
-        out = a.data * a.data
-    elif exponent == 3:
-        out = a.data * a.data * a.data
-    else:
-        out = a.data ** exponent
+    def forward():
+        if exponent == 2:
+            return a.data * a.data
+        if exponent == 3:
+            return a.data * a.data * a.data
+        return a.data ** exponent
 
     def backward(grad):
         return (grad * exponent * a.data ** (exponent - 1),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def exp(a) -> Tensor:
     a = as_tensor(a)
-    out = np.exp(a.data)
+    out = None
+
+    def forward():
+        nonlocal out
+        out = np.exp(a.data)
+        return out
 
     def backward(grad):
         return (grad * out,)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def log(a) -> Tensor:
     a = as_tensor(a)
-    out = np.log(a.data)
+
+    def forward():
+        return np.log(a.data)
 
     def backward(grad):
         return (grad / a.data,)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def sqrt(a) -> Tensor:
     a = as_tensor(a)
-    out = np.sqrt(a.data)
+    out = None
+
+    def forward():
+        nonlocal out
+        out = np.sqrt(a.data)
+        return out
 
     def backward(grad):
         return (grad * 0.5 / out,)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def tanh(a) -> Tensor:
     a = as_tensor(a)
-    out = np.tanh(a.data)
+    out = None
+
+    def forward():
+        nonlocal out
+        out = np.tanh(a.data)
+        return out
 
     def backward(grad):
         return (grad * (1.0 - out * out),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def sigmoid(a) -> Tensor:
     a = as_tensor(a)
-    out = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0)))
+    out = None
+
+    def forward():
+        nonlocal out
+        out = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0)))
+        return out
 
     def backward(grad):
         return (grad * out * (1.0 - out),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def logsigmoid(a) -> Tensor:
     """Numerically stable ``log(sigmoid(x))``."""
     a = as_tensor(a)
-    x = a.data
-    out = np.where(x >= 0, -np.log1p(np.exp(-x)), x - np.log1p(np.exp(x)))
+
+    def forward():
+        x = a.data
+        out = np.where(x >= 0, -np.log1p(np.exp(-x)), x - np.log1p(np.exp(x)))
+        return out.astype(x.dtype, copy=False)
 
     def backward(grad):
-        sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        sig = 1.0 / (1.0 + np.exp(-np.clip(a.data, -60.0, 60.0)))
         return (grad * (1.0 - sig),)
 
-    return _make(out.astype(x.dtype, copy=False), (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def relu(a) -> Tensor:
     a = as_tensor(a)
-    out = np.maximum(a.data, 0.0)
+
+    def forward():
+        return np.maximum(a.data, 0.0)
 
     def backward(grad):
         return (grad * (a.data > 0),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 _GELU_C = np.sqrt(2.0 / np.pi)
@@ -245,16 +308,21 @@ def gelu(a) -> Tensor:
     exact power-of-two scalings and commuted multiplications differ).
     """
     a = as_tensor(a)
-    x = a.data
-    x_sq = x * x
-    inner = x_sq * x
-    inner *= 0.044715
-    inner += x
-    inner *= _GELU_C
-    t = np.tanh(inner, out=inner)  # inner is dead past this point
-    out = t + 1.0
-    out *= x
-    out *= 0.5
+    x = x_sq = t = None
+
+    def forward():
+        nonlocal x, x_sq, t
+        x = a.data
+        x_sq = x * x
+        inner = x_sq * x
+        inner *= 0.044715
+        inner += x
+        inner *= _GELU_C
+        t = np.tanh(inner, out=inner)  # inner is dead past this point
+        out = t + 1.0
+        out *= x
+        out *= 0.5
+        return out.astype(x.dtype, copy=False)
 
     def backward(grad):
         # dinner = C * (1 + 3*0.044715*x^2), folded into a fresh buffer.
@@ -273,12 +341,14 @@ def gelu(a) -> Tensor:
         dx *= grad
         return (dx,)
 
-    return _make(out.astype(x.dtype, copy=False), (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def maximum(a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    out = np.maximum(a.data, b.data)
+
+    def forward():
+        return np.maximum(a.data, b.data)
 
     def backward(grad):
         mask = a.data >= b.data
@@ -287,25 +357,34 @@ def maximum(a, b) -> Tensor:
             unbroadcast(grad * ~mask, b.shape),
         )
 
-    return _make(out, (a, b), backward)
+    return _make(forward(), (a, b), backward, forward)
 
 
 def clip(a, lo: float, hi: float) -> Tensor:
     a = as_tensor(a)
-    out = np.clip(a.data, lo, hi)
+
+    def forward():
+        return np.clip(a.data, lo, hi)
 
     def backward(grad):
         inside = (a.data >= lo) & (a.data <= hi)
         return (grad * inside,)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def where(cond, a, b) -> Tensor:
-    """Select ``a`` where ``cond`` else ``b``; ``cond`` is a plain array."""
+    """Select ``a`` where ``cond`` else ``b``; ``cond`` is a plain array.
+
+    The condition array object is baked into the closures; a
+    step-dependent condition must be refreshed in place via
+    :func:`repro.autograd.graph.record_host` to stay replay-correct.
+    """
     cond = cond.data if isinstance(cond, Tensor) else np.asarray(cond)
     a, b = as_tensor(a), as_tensor(b)
-    out = np.where(cond, a.data, b.data)
+
+    def forward():
+        return np.where(cond, a.data, b.data)
 
     def backward(grad):
         return (
@@ -313,7 +392,7 @@ def where(cond, a, b) -> Tensor:
             unbroadcast(grad * ~cond, b.shape),
         )
 
-    return _make(out, (a, b), backward)
+    return _make(forward(), (a, b), backward, forward)
 
 
 def masked_fill(a, mask, value: float) -> Tensor:
@@ -327,12 +406,16 @@ def masked_fill(a, mask, value: float) -> Tensor:
     """
     a = as_tensor(a)
     mask = mask.data if isinstance(mask, Tensor) else np.asarray(mask)
-    out = np.where(np.broadcast_to(mask, a.shape), np.asarray(value, dtype=a.dtype), a.data)
+
+    def forward():
+        return np.where(
+            np.broadcast_to(mask, a.shape), np.asarray(value, dtype=a.dtype), a.data
+        )
 
     def backward(grad):
         return (grad * ~mask,)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 # ----------------------------------------------------------------------
@@ -341,26 +424,30 @@ def masked_fill(a, mask, value: float) -> Tensor:
 
 def reshape(a, shape: Tuple[int, ...]) -> Tensor:
     a = as_tensor(a)
-    out = a.data.reshape(shape)
+
+    def forward():
+        return a.data.reshape(shape)
 
     def backward(grad):
         return (grad.reshape(a.shape),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
     a = as_tensor(a)
-    out = np.transpose(a.data, axes)
     if axes is None:
         inverse = None
     else:
         inverse = np.argsort(axes)
 
+    def forward():
+        return np.transpose(a.data, axes)
+
     def backward(grad):
         return (np.transpose(grad, inverse),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def _is_basic_index(index) -> bool:
@@ -375,7 +462,9 @@ def getitem(a, index) -> Tensor:
     a = as_tensor(a)
     if isinstance(index, Tensor):
         index = index.data
-    out = np.asarray(a.data[index])  # scalar indexing yields numpy scalars
+
+    def forward():
+        return np.asarray(a.data[index])  # scalar indexing yields numpy scalars
 
     def backward(grad):
         full = np.zeros_like(a.data)
@@ -388,14 +477,16 @@ def getitem(a, index) -> Tensor:
             np.add.at(full, index, grad)
         return (full,)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def concat(tensors: Sequence, axis: int = 0) -> Tensor:
     tensors = [as_tensor(t) for t in tensors]
-    out = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+
+    def forward():
+        return np.concatenate([t.data for t in tensors], axis=axis)
 
     def backward(grad):
         slicer = [slice(None)] * grad.ndim
@@ -405,18 +496,20 @@ def concat(tensors: Sequence, axis: int = 0) -> Tensor:
             grads.append(grad[tuple(slicer)])
         return tuple(grads)
 
-    return _make(out, tuple(tensors), backward)
+    return _make(forward(), tuple(tensors), backward, forward)
 
 
 def stack(tensors: Sequence, axis: int = 0) -> Tensor:
     tensors = [as_tensor(t) for t in tensors]
-    out = np.stack([t.data for t in tensors], axis=axis)
+
+    def forward():
+        return np.stack([t.data for t in tensors], axis=axis)
 
     def backward(grad):
         pieces = np.split(grad, len(tensors), axis=axis)
         return tuple(np.squeeze(p, axis=axis) for p in pieces)
 
-    return _make(out, tuple(tensors), backward)
+    return _make(forward(), tuple(tensors), backward, forward)
 
 
 def pad_axis(a, axis: int, before: int, after: int, value: float = 0.0) -> Tensor:
@@ -424,14 +517,16 @@ def pad_axis(a, axis: int, before: int, after: int, value: float = 0.0) -> Tenso
     a = as_tensor(a)
     widths = [(0, 0)] * a.ndim
     widths[axis] = (before, after)
-    out = np.pad(a.data, widths, constant_values=value)
+
+    def forward():
+        return np.pad(a.data, widths, constant_values=value)
 
     def backward(grad):
         slicer = [slice(None)] * a.ndim
         slicer[axis] = slice(before, before + a.shape[axis])
         return (grad[tuple(slicer)],)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 # ----------------------------------------------------------------------
@@ -444,7 +539,8 @@ def sum(a, axis=None, keepdims: bool = False) -> Tensor:
     # the Tensor constructor keeps their dtype instead of coercing them
     # to the scalar-constant default (which would silently narrow a
     # float64 reduction when the default is float32).
-    out = np.asarray(a.data.sum(axis=axis, keepdims=keepdims))
+    def forward():
+        return np.asarray(a.data.sum(axis=axis, keepdims=keepdims))
 
     def backward(grad):
         g = grad
@@ -452,17 +548,19 @@ def sum(a, axis=None, keepdims: bool = False) -> Tensor:
             g = np.expand_dims(g, axis)
         return (np.broadcast_to(g, a.shape).astype(a.dtype, copy=False),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def mean(a, axis=None, keepdims: bool = False) -> Tensor:
     a = as_tensor(a)
-    out = np.asarray(a.data.mean(axis=axis, keepdims=keepdims))  # see sum()
     # Keep ``count`` a python int: a strong ``np.int64`` scalar would
     # promote float32 gradients to float64 in the division below.
     count = a.data.size if axis is None else int(np.prod(
         [a.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
     ))
+
+    def forward():
+        return np.asarray(a.data.mean(axis=axis, keepdims=keepdims))  # see sum()
 
     def backward(grad):
         g = grad / count
@@ -470,7 +568,7 @@ def mean(a, axis=None, keepdims: bool = False) -> Tensor:
             g = np.expand_dims(g, axis)
         return (np.broadcast_to(g, a.shape).astype(a.dtype, copy=False),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def var(a, axis=None, keepdims: bool = False) -> Tensor:
@@ -485,12 +583,14 @@ def var(a, axis=None, keepdims: bool = False) -> Tensor:
 def sum_to(a, shape: Tuple[int, ...]) -> Tensor:
     """Differentiable reduction of ``a`` to a broadcast-compatible shape."""
     a = as_tensor(a)
-    out = unbroadcast(a.data, shape)
+
+    def forward():
+        return unbroadcast(a.data, shape)
 
     def backward(grad):
         return (np.broadcast_to(grad, a.shape).astype(a.dtype, copy=False),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 # ----------------------------------------------------------------------
@@ -499,7 +599,9 @@ def sum_to(a, shape: Tuple[int, ...]) -> Tensor:
 
 def matmul(a, b) -> Tensor:
     a, b = as_tensor(a), as_tensor(b)
-    out = np.asarray(a.data @ b.data)  # 1-d @ 1-d yields a numpy scalar
+
+    def forward():
+        return np.asarray(a.data @ b.data)  # 1-d @ 1-d yields a numpy scalar
 
     def backward(grad):
         a_d, b_d = a.data, b.data
@@ -537,7 +639,7 @@ def matmul(a, b) -> Tensor:
         gb = np.swapaxes(a_d, -1, -2) @ grad
         return unbroadcast(ga, a_d.shape), unbroadcast(gb, b_d.shape)
 
-    return _make(out, (a, b), backward)
+    return _make(forward(), (a, b), backward, forward)
 
 
 def linear(x, weight, bias=None) -> Tensor:
@@ -558,8 +660,11 @@ def linear(x, weight, bias=None) -> Tensor:
     bias = as_tensor(bias)
     if x.ndim < 2 or weight.ndim != 2 or bias.data.ndim != 1:
         return add(matmul(x, weight), bias)
-    out = x.data @ weight.data
-    out += bias.data
+
+    def forward():
+        out = x.data @ weight.data
+        out += bias.data
+        return out
 
     def backward(grad):
         w_d = weight.data
@@ -573,7 +678,7 @@ def linear(x, weight, bias=None) -> Tensor:
             gw = x.data.T @ grad
         return gx, gw, g2.sum(axis=0)
 
-    return _make(out, (x, weight, bias), backward)
+    return _make(forward(), (x, weight, bias), backward, forward)
 
 
 # ----------------------------------------------------------------------
@@ -582,28 +687,38 @@ def linear(x, weight, bias=None) -> Tensor:
 
 def softmax(a, axis: int = -1) -> Tensor:
     a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out = e / e.sum(axis=axis, keepdims=True)
+    out = None
+
+    def forward():
+        nonlocal out
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out = e / e.sum(axis=axis, keepdims=True)
+        return out
 
     def backward(grad):
         dot = (grad * out).sum(axis=axis, keepdims=True)
         return (out * (grad - dot),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def log_softmax(a, axis: int = -1) -> Tensor:
     a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out = shifted - log_z
+    out = None
+
+    def forward():
+        nonlocal out
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out = shifted - log_z
+        return out
 
     def backward(grad):
         soft = np.exp(out)
         return (grad - soft * grad.sum(axis=axis, keepdims=True),)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def cross_entropy(
@@ -638,28 +753,33 @@ def cross_entropy(
         raise ValueError(f"chunk_size must be >= 1 or None, got {chunk_size}")
     logits = as_tensor(logits)
     targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
-    flat_logits = logits.data.reshape(-1, logits.shape[-1])
-    flat_targets = targets.reshape(-1).astype(np.int64)
 
-    if ignore_index is not None:
-        valid = flat_targets != ignore_index
-    else:
-        valid = np.ones_like(flat_targets, dtype=bool)
-    count = max(int(valid.sum()), 1)
-    safe_targets = np.where(valid, flat_targets, 0)
-    rows = np.arange(flat_targets.shape[0])
-
-    num_classes = flat_logits.shape[1]
+    num_classes = logits.shape[-1]
     if chunk_size is not None and chunk_size < num_classes:
-        return _chunked_cross_entropy(
-            logits, flat_logits, safe_targets, valid, count, rows, int(chunk_size)
-        )
+        return _chunked_cross_entropy(logits, targets, ignore_index, int(chunk_size))
 
-    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
-    log_probs = shifted - log_z
-    picked = log_probs[rows, safe_targets]
-    loss = -(picked * valid).sum() / count
+    # Target-derived state is recomputed inside ``forward`` — the target
+    # array object is baked into the closure, its *contents* are step
+    # input that a static-graph replay refreshes in place.
+    log_probs = rows = safe_targets = valid = count = None
+
+    def forward():
+        nonlocal log_probs, rows, safe_targets, valid, count
+        flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+        flat_targets = targets.reshape(-1).astype(np.int64)
+        if ignore_index is not None:
+            valid = flat_targets != ignore_index
+        else:
+            valid = np.ones_like(flat_targets, dtype=bool)
+        count = max(int(valid.sum()), 1)
+        safe_targets = np.where(valid, flat_targets, 0)
+        rows = np.arange(flat_targets.shape[0])
+        shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        log_probs = shifted - log_z
+        picked = log_probs[rows, safe_targets]
+        loss = -(picked * valid).sum() / count
+        return np.asarray(loss, dtype=logits.data.dtype)
 
     def backward(grad):
         soft = np.exp(log_probs)
@@ -667,16 +787,13 @@ def cross_entropy(
         soft *= (valid / count)[:, None]
         return ((grad * soft).reshape(logits.shape).astype(logits.dtype, copy=False),)
 
-    return _make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
+    return _make(forward(), (logits,), backward, forward)
 
 
 def _chunked_cross_entropy(
     logits: Tensor,
-    flat_logits: np.ndarray,
-    safe_targets: np.ndarray,
-    valid: np.ndarray,
-    count: int,
-    rows: np.ndarray,
+    targets: np.ndarray,
+    ignore_index: Optional[int],
     chunk_size: int,
 ) -> Tensor:
     """Streamed CE over materialized logits: no full-width temporaries.
@@ -687,20 +804,38 @@ def _chunked_cross_entropy(
     gradient buffer.  Same mean-CE value as the dense path up to
     summation order.
     """
-    num_classes = flat_logits.shape[1]
-    row_max = flat_logits[:, :chunk_size].max(axis=1)
-    for c0 in range(chunk_size, num_classes, chunk_size):
-        np.maximum(row_max, flat_logits[:, c0 : c0 + chunk_size].max(axis=1), out=row_max)
-    sum_exp = np.zeros_like(row_max)
-    for c0 in range(0, num_classes, chunk_size):
-        chunk = flat_logits[:, c0 : c0 + chunk_size] - row_max[:, None]
-        np.exp(chunk, out=chunk)
-        sum_exp += chunk.sum(axis=1)
-    log_z = np.log(sum_exp)
-    picked = flat_logits[rows, safe_targets] - row_max - log_z
-    loss = -(picked * valid).sum() / count
+    row_max = log_z = rows = safe_targets = valid = count = None
+
+    def forward():
+        nonlocal row_max, log_z, rows, safe_targets, valid, count
+        flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+        flat_targets = targets.reshape(-1).astype(np.int64)
+        if ignore_index is not None:
+            valid = flat_targets != ignore_index
+        else:
+            valid = np.ones_like(flat_targets, dtype=bool)
+        count = max(int(valid.sum()), 1)
+        safe_targets = np.where(valid, flat_targets, 0)
+        rows = np.arange(flat_targets.shape[0])
+        num_classes = flat_logits.shape[1]
+        row_max = flat_logits[:, :chunk_size].max(axis=1)
+        for c0 in range(chunk_size, num_classes, chunk_size):
+            np.maximum(
+                row_max, flat_logits[:, c0 : c0 + chunk_size].max(axis=1), out=row_max
+            )
+        sum_exp = np.zeros_like(row_max)
+        for c0 in range(0, num_classes, chunk_size):
+            chunk = flat_logits[:, c0 : c0 + chunk_size] - row_max[:, None]
+            np.exp(chunk, out=chunk)
+            sum_exp += chunk.sum(axis=1)
+        log_z = np.log(sum_exp)
+        picked = flat_logits[rows, safe_targets] - row_max - log_z
+        loss = -(picked * valid).sum() / count
+        return np.asarray(loss, dtype=logits.data.dtype)
 
     def backward(grad):
+        flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+        num_classes = flat_logits.shape[1]
         out = np.empty_like(flat_logits)
         shift = row_max + log_z
         for c0 in range(0, num_classes, chunk_size):
@@ -711,7 +846,7 @@ def _chunked_cross_entropy(
         out *= (grad * valid / count)[:, None]
         return (out.reshape(logits.shape).astype(logits.dtype, copy=False),)
 
-    return _make(np.asarray(loss, dtype=logits.dtype), (logits,), backward)
+    return _make(forward(), (logits,), backward, forward)
 
 
 def linear_cross_entropy(
@@ -761,48 +896,55 @@ def linear_cross_entropy(
 
     targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
     dim = inputs.shape[-1]
-    x = inputs.data.reshape(-1, dim)
-    w = weight.data
-    flat_targets = targets.reshape(-1).astype(np.int64)
-    if ignore_index is not None:
-        valid = flat_targets != ignore_index
-    else:
-        valid = np.ones_like(flat_targets, dtype=bool)
-    count = max(int(valid.sum()), 1)
-    safe_targets = np.where(valid, flat_targets, 0)
-    if safe_targets.size and (
-        int(safe_targets.min()) < 0 or int(safe_targets.max()) >= num_classes
-    ):
-        # The dense path would raise on the fancy-index gather; the
-        # chunked gather would silently skip out-of-range rows and
-        # train on uninitialized memory instead — fail loudly.
-        raise IndexError(
-            f"targets out of range for {num_classes} classes "
-            f"(got min {int(safe_targets.min())}, max {int(safe_targets.max())})"
-        )
+    row_max = log_z = safe_targets = valid = count = None
 
-    # Online log-sum-exp over class chunks: one GEMM pass, running
-    # (max, scaled-sum) per row; the target logit is gathered from the
-    # single chunk that covers it.
-    row_max = np.full(x.shape[0], -np.inf, dtype=x.dtype)
-    sum_exp = np.zeros(x.shape[0], dtype=x.dtype)
-    picked = np.empty(x.shape[0], dtype=x.dtype)
-    for c0 in range(0, num_classes, chunk_size):
-        c1 = min(c0 + chunk_size, num_classes)
-        block = x @ w[c0:c1].T  # (R, C)
-        in_chunk = np.nonzero((safe_targets >= c0) & (safe_targets < c1))[0]
-        if in_chunk.size:
-            picked[in_chunk] = block[in_chunk, safe_targets[in_chunk] - c0]
-        new_max = np.maximum(row_max, block.max(axis=1))
-        sum_exp *= np.exp(row_max - new_max)
-        row_max = new_max
-        block -= row_max[:, None]
-        np.exp(block, out=block)
-        sum_exp += block.sum(axis=1)
-    log_z = np.log(sum_exp)  # log-sum-exp relative to the final row max
-    loss = -((picked - row_max - log_z) * valid).sum() / count
+    def forward():
+        nonlocal row_max, log_z, safe_targets, valid, count
+        x = inputs.data.reshape(-1, dim)
+        w = weight.data
+        flat_targets = targets.reshape(-1).astype(np.int64)
+        if ignore_index is not None:
+            valid = flat_targets != ignore_index
+        else:
+            valid = np.ones_like(flat_targets, dtype=bool)
+        count = max(int(valid.sum()), 1)
+        safe_targets = np.where(valid, flat_targets, 0)
+        if safe_targets.size and (
+            int(safe_targets.min()) < 0 or int(safe_targets.max()) >= num_classes
+        ):
+            # The dense path would raise on the fancy-index gather; the
+            # chunked gather would silently skip out-of-range rows and
+            # train on uninitialized memory instead — fail loudly.
+            raise IndexError(
+                f"targets out of range for {num_classes} classes "
+                f"(got min {int(safe_targets.min())}, max {int(safe_targets.max())})"
+            )
+
+        # Online log-sum-exp over class chunks: one GEMM pass, running
+        # (max, scaled-sum) per row; the target logit is gathered from
+        # the single chunk that covers it.
+        row_max = np.full(x.shape[0], -np.inf, dtype=x.dtype)
+        sum_exp = np.zeros(x.shape[0], dtype=x.dtype)
+        picked = np.empty(x.shape[0], dtype=x.dtype)
+        for c0 in range(0, num_classes, chunk_size):
+            c1 = min(c0 + chunk_size, num_classes)
+            block = x @ w[c0:c1].T  # (R, C)
+            in_chunk = np.nonzero((safe_targets >= c0) & (safe_targets < c1))[0]
+            if in_chunk.size:
+                picked[in_chunk] = block[in_chunk, safe_targets[in_chunk] - c0]
+            new_max = np.maximum(row_max, block.max(axis=1))
+            sum_exp *= np.exp(row_max - new_max)
+            row_max = new_max
+            block -= row_max[:, None]
+            np.exp(block, out=block)
+            sum_exp += block.sum(axis=1)
+        log_z = np.log(sum_exp)  # log-sum-exp relative to the final row max
+        loss = -((picked - row_max - log_z) * valid).sum() / count
+        return np.asarray(loss, dtype=inputs.data.dtype)
 
     def backward(grad):
+        x = inputs.data.reshape(-1, dim)
+        w = weight.data
         g_x = np.zeros_like(x)
         g_w = np.zeros_like(w)
         coef = (grad * valid / count).astype(x.dtype, copy=False)
@@ -823,7 +965,7 @@ def linear_cross_entropy(
             g_w.astype(weight.dtype, copy=False),
         )
 
-    return _make(np.asarray(loss, dtype=inputs.dtype), (inputs, weight), backward)
+    return _make(forward(), (inputs, weight), backward, forward)
 
 
 def sampled_softmax_loss(
@@ -895,75 +1037,113 @@ def sampled_softmax_loss(
             )
         if num_negatives < 1:
             raise ValueError(f"num_negatives must be >= 1, got {num_negatives}")
-        negatives = sampler.sample(int(num_negatives))
-    negatives = np.asarray(negatives, dtype=np.int64).reshape(-1)
-    if negatives.size < 1:
-        raise ValueError("sampled_softmax_loss needs at least one negative")
-    if int(negatives.min()) < 0 or int(negatives.max()) >= num_classes:
-        raise IndexError(
-            f"negatives out of range for {num_classes} classes "
-            f"(got min {int(negatives.min())}, max {int(negatives.max())})"
-        )
-
-    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
-    dim = inputs.shape[-1]
-    x = inputs.data.reshape(-1, dim)
-    w = weight.data
-    flat_targets = targets.reshape(-1).astype(np.int64)
-    if ignore_index is not None:
-        valid = flat_targets != ignore_index
+        explicit_negatives = None
     else:
-        valid = np.ones_like(flat_targets, dtype=bool)
-    count = max(int(valid.sum()), 1)
-    safe_targets = np.where(valid, flat_targets, 0)
-    if safe_targets.size and (
-        int(safe_targets.min()) < 0 or int(safe_targets.max()) >= num_classes
+        explicit_negatives = np.asarray(negatives, dtype=np.int64).reshape(-1)
+        if explicit_negatives.size < 1:
+            raise ValueError("sampled_softmax_loss needs at least one negative")
+    targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    # Build-time validation in the seed's order: candidate and target
+    # range errors surface before the logq-source check.  The forward
+    # closure re-validates on every call (replays see fresh contents).
+    if explicit_negatives is not None and (
+        int(explicit_negatives.min()) < 0
+        or int(explicit_negatives.max()) >= num_classes
     ):
         raise IndexError(
+            f"negatives out of range for {num_classes} classes "
+            f"(got min {int(explicit_negatives.min())}, "
+            f"max {int(explicit_negatives.max())})"
+        )
+    _flat0 = targets.reshape(-1).astype(np.int64)
+    _safe0 = np.where(_flat0 != ignore_index, _flat0, 0) if ignore_index is not None else _flat0
+    if _safe0.size and (int(_safe0.min()) < 0 or int(_safe0.max()) >= num_classes):
+        raise IndexError(
             f"targets out of range for {num_classes} classes "
-            f"(got min {int(safe_targets.min())}, max {int(safe_targets.max())})"
+            f"(got min {int(_safe0.min())}, max {int(_safe0.max())})"
+        )
+    if logq_correction and sampler is None and (neg_log_q is None or target_log_q is None):
+        raise ValueError(
+            "logq_correction=True needs a `sampler` or explicit "
+            "`neg_log_q` AND `target_log_q` arrays; pass "
+            "logq_correction=False to score raw logits"
         )
 
-    if logq_correction:
-        if sampler is not None:
-            neg_log_q = sampler.log_q(negatives)
+    dim = inputs.shape[-1]
+    # Per-step state shared with the backward; a sampler-backed call
+    # re-draws its negatives inside ``forward`` on every replay, so the
+    # candidate stream under a static graph consumes the sampler's
+    # generator exactly like the dynamic engine.
+    negs = pos_rows = neg_rows = shifted = safe_targets = valid = count = None
+
+    def forward():
+        nonlocal negs, pos_rows, neg_rows, shifted, safe_targets, valid, count
+        x = inputs.data.reshape(-1, dim)
+        w = weight.data
+        if explicit_negatives is not None:
+            negs = explicit_negatives
+        else:
+            negs = np.asarray(sampler.sample(int(num_negatives)), dtype=np.int64).reshape(-1)
+        if negs.size < 1:
+            raise ValueError("sampled_softmax_loss needs at least one negative")
+        if int(negs.min()) < 0 or int(negs.max()) >= num_classes:
+            raise IndexError(
+                f"negatives out of range for {num_classes} classes "
+                f"(got min {int(negs.min())}, max {int(negs.max())})"
+            )
+        flat_targets = targets.reshape(-1).astype(np.int64)
+        if ignore_index is not None:
+            valid = flat_targets != ignore_index
+        else:
+            valid = np.ones_like(flat_targets, dtype=bool)
+        count = max(int(valid.sum()), 1)
+        safe_targets = np.where(valid, flat_targets, 0)
+        if safe_targets.size and (
+            int(safe_targets.min()) < 0 or int(safe_targets.max()) >= num_classes
+        ):
+            raise IndexError(
+                f"targets out of range for {num_classes} classes "
+                f"(got min {int(safe_targets.min())}, max {int(safe_targets.max())})"
+            )
+
+        if logq_correction and sampler is not None:
+            cand_log_q = sampler.log_q(negs)
             # Rows masked by ignore_index hold a placeholder target (0),
             # which may lie outside the proposal support (log-uniform
             # q(0) = 0 → an inf correction that would NaN the masked
             # row's logit).  Correct only the valid rows; masked rows
             # contribute nothing to the loss either way.
-            target_log_q = np.zeros(safe_targets.shape, dtype=np.float64)
+            tgt_log_q = np.zeros(safe_targets.shape, dtype=np.float64)
             if valid.any():
-                target_log_q[valid] = sampler.log_q(safe_targets[valid])
-        elif neg_log_q is None or target_log_q is None:
-            raise ValueError(
-                "logq_correction=True needs a `sampler` or explicit "
-                "`neg_log_q` AND `target_log_q` arrays; pass "
-                "logq_correction=False to score raw logits"
-            )
+                tgt_log_q[valid] = sampler.log_q(safe_targets[valid])
+        else:
+            cand_log_q, tgt_log_q = neg_log_q, target_log_q
 
-    pos_rows = w[safe_targets]  # (R, d) gather; rows may repeat
-    neg_rows = w[negatives]  # (K, d)
-    # Candidate logits: one fused (R, K+1) block — column 0 is the
-    # positive, columns 1.. the shared negatives.
-    all_logits = np.empty((x.shape[0], negatives.size + 1), dtype=x.dtype)
-    np.einsum("rd,rd->r", x, pos_rows, out=all_logits[:, 0])
-    np.matmul(x, neg_rows.T, out=all_logits[:, 1:])
-    if logq_correction:
-        all_logits[:, 0] -= target_log_q.astype(x.dtype, copy=False)
-        all_logits[:, 1:] -= neg_log_q.astype(x.dtype, copy=False)[None, :]
-    if remove_accidental_hits:
-        hits = negatives[None, :] == safe_targets[:, None]  # (R, K)
-        all_logits[:, 1:][hits] = -np.inf
+        pos_rows = w[safe_targets]  # (R, d) gather; rows may repeat
+        neg_rows = w[negs]  # (K, d)
+        # Candidate logits: one fused (R, K+1) block — column 0 is the
+        # positive, columns 1.. the shared negatives.
+        all_logits = np.empty((x.shape[0], negs.size + 1), dtype=x.dtype)
+        np.einsum("rd,rd->r", x, pos_rows, out=all_logits[:, 0])
+        np.matmul(x, neg_rows.T, out=all_logits[:, 1:])
+        if logq_correction:
+            all_logits[:, 0] -= tgt_log_q.astype(x.dtype, copy=False)
+            all_logits[:, 1:] -= cand_log_q.astype(x.dtype, copy=False)[None, :]
+        if remove_accidental_hits:
+            hits = negs[None, :] == safe_targets[:, None]  # (R, K)
+            all_logits[:, 1:][hits] = -np.inf
 
-    row_max = all_logits.max(axis=1)
-    shifted = all_logits - row_max[:, None]
-    np.exp(shifted, out=shifted)
-    # exp(-inf - max) underflows to 0: masked hits drop out of the sum.
-    log_z = np.log(shifted.sum(axis=1))
-    loss = -((all_logits[:, 0] - row_max - log_z) * valid).sum() / count
+        row_max = all_logits.max(axis=1)
+        shifted = all_logits - row_max[:, None]
+        np.exp(shifted, out=shifted)
+        # exp(-inf - max) underflows to 0: masked hits drop out of the sum.
+        log_z = np.log(shifted.sum(axis=1))
+        loss = -((all_logits[:, 0] - row_max - log_z) * valid).sum() / count
+        return np.asarray(loss, dtype=x.dtype)
 
     def backward(grad):
+        x = inputs.data.reshape(-1, dim)
+        w = weight.data
         # Softmax over the K+1 candidates; column 0 is the positive.
         soft = shifted / shifted.sum(axis=1, keepdims=True)
         soft[:, 0] -= 1.0
@@ -975,36 +1155,47 @@ def sampled_softmax_loss(
         # repeat across the batch), negatives via one (K, d) GEMM then
         # a K-row scatter (sampled-with-replacement ids repeat too).
         np.add.at(g_w, safe_targets, soft[:, 0:1] * x)
-        np.add.at(g_w, negatives, soft[:, 1:].T @ x)
+        np.add.at(g_w, negs, soft[:, 1:].T @ x)
         return (
             g_x.reshape(inputs.shape).astype(inputs.dtype, copy=False),
             g_w.astype(weight.dtype, copy=False),
         )
 
-    return _make(np.asarray(loss, dtype=inputs.dtype), (inputs, weight), backward)
+    return _make(forward(), (inputs, weight), backward, forward)
 
 
 def binary_cross_entropy_with_logits(logits, targets) -> Tensor:
     """Mean BCE over all elements; ``targets`` is a plain 0/1 array."""
     logits = as_tensor(logits)
     targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
-    x = logits.data
-    loss = np.maximum(x, 0) - x * targets + np.log1p(np.exp(-np.abs(x)))
-    out = loss.mean()
+
+    def forward():
+        x = logits.data
+        loss = np.maximum(x, 0) - x * targets + np.log1p(np.exp(-np.abs(x)))
+        return np.asarray(loss.mean(), dtype=x.dtype)
 
     def backward(grad):
+        x = logits.data
         sig = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
         return ((grad * (sig - targets) / x.size).astype(x.dtype, copy=False),)
 
-    return _make(np.asarray(out, dtype=x.dtype), (logits,), backward)
+    return _make(forward(), (logits,), backward, forward)
 
 
 def embedding(weight, indices) -> Tensor:
-    """Row-gather from an embedding matrix with segment-sum backward."""
+    """Row-gather from an embedding matrix with segment-sum backward.
+
+    The index array *object* is baked into the closures (``asarray`` /
+    ``astype(copy=False)`` keep an int64 input aliased); under a static
+    graph its contents are refreshed in place by the executor's input
+    buffers, so replays gather the current step's rows.
+    """
     weight = as_tensor(weight)
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
     idx = idx.astype(np.int64, copy=False)
-    out = weight.data[idx]
+
+    def forward():
+        return weight.data[idx]
 
     def backward(grad):
         # Scatter-add via one flat ``bincount`` over (row, column) linear
@@ -1023,7 +1214,7 @@ def embedding(weight, indices) -> Tensor:
         ).reshape(rows, dim)
         return (full.astype(weight.dtype, copy=False),)
 
-    return _make(out, (weight,), backward)
+    return _make(forward(), (weight,), backward, forward)
 
 
 def dropout(
@@ -1089,43 +1280,52 @@ def dropout(
     # workspace key the separate-pass (B, ...) sites use, so the
     # stacked (V*B, ...) geometry and the single-view eval geometry
     # share one cache-resident buffer instead of parking a full-size
-    # draw array per geometry.
-    if fast:
-        threshold = np.uint16(min(65535, int(round(keep * 65536.0))))
-        if views > 1:
-            mask = np.empty(a.shape, dtype=bool)
-            view_shape = (block,) + a.shape[1:]
-            for v in range(views):
-                np.less(
-                    rng.integers(0, 65536, size=view_shape, dtype=np.uint16),
-                    threshold,
-                    out=mask[v * block : (v + 1) * block],
-                )
-        else:
-            mask = rng.integers(0, 65536, size=a.shape, dtype=np.uint16) < threshold
-    else:
-        if views > 1:
-            mask = np.empty(a.shape, dtype=bool)
-            draw = get_workspace().scratch(
-                "dropout.draw", (block,) + a.shape[1:], np.float64
-            )
-            for v in range(views):
-                rng.random(out=draw)
-                np.less(draw, keep, out=mask[v * block : (v + 1) * block])
-        else:
-            draw = get_workspace().scratch("dropout.draw", a.shape, np.float64)
-            rng.random(out=draw)
-            mask = draw < keep
+    # draw array per geometry.  The mask draw lives inside ``forward``:
+    # a static-graph replay re-draws a fresh mask from the same
+    # generator object, consuming its stream exactly like the dynamic
+    # step (``fast``/``views`` are resolved above, at build time — the
+    # executor invalidates the tape when the ambient flags change).
     scale = a.dtype.type(1.0) / a.dtype.type(keep)
-    out = a.data * mask
-    out *= scale
+    threshold = np.uint16(min(65535, int(round(keep * 65536.0)))) if fast else None
+    mask = None
+
+    def forward():
+        nonlocal mask
+        if fast:
+            if views > 1:
+                mask = np.empty(a.shape, dtype=bool)
+                view_shape = (block,) + a.shape[1:]
+                for v in range(views):
+                    np.less(
+                        rng.integers(0, 65536, size=view_shape, dtype=np.uint16),
+                        threshold,
+                        out=mask[v * block : (v + 1) * block],
+                    )
+            else:
+                mask = rng.integers(0, 65536, size=a.shape, dtype=np.uint16) < threshold
+        else:
+            if views > 1:
+                mask = np.empty(a.shape, dtype=bool)
+                draw = get_workspace().scratch(
+                    "dropout.draw", (block,) + a.shape[1:], np.float64
+                )
+                for v in range(views):
+                    rng.random(out=draw)
+                    np.less(draw, keep, out=mask[v * block : (v + 1) * block])
+            else:
+                draw = get_workspace().scratch("dropout.draw", a.shape, np.float64)
+                rng.random(out=draw)
+                mask = draw < keep
+        out = a.data * mask
+        out *= scale
+        return out
 
     def backward(grad):
         g = grad * mask
         g *= scale
         return (g,)
 
-    return _make(out, (a,), backward)
+    return _make(forward(), (a,), backward, forward)
 
 
 def layer_norm(a, gamma, beta, eps: float = 1e-12) -> Tensor:
@@ -1138,23 +1338,28 @@ def layer_norm(a, gamma, beta, eps: float = 1e-12) -> Tensor:
     (the returned input gradient is always a fresh array).
     """
     a, gamma, beta = as_tensor(a), as_tensor(gamma), as_tensor(beta)
-    x = a.data
-    dim = x.shape[-1]
-    mu = x.mean(axis=-1, keepdims=True)
-    xc = x - mu
-    # Row sums of squares via einsum: one read of ``xc`` and no
-    # full-size squared buffer (a write+read of the whole array saved
-    # per call; summation-order differences vs the old ``(xc*xc).mean``
-    # land at float rounding).
-    xc2 = xc.reshape(-1, dim)
-    inv_std = np.einsum("ij,ij->i", xc2, xc2).reshape(mu.shape)
-    inv_std /= dim
-    inv_std += eps
-    np.sqrt(inv_std, out=inv_std)
-    np.divide(1.0, inv_std, out=inv_std)
-    x_hat = np.multiply(xc, inv_std, out=xc)  # xc is dead past this point
-    out = x_hat * gamma.data
-    out += beta.data
+    x = x_hat = inv_std = None
+
+    def forward():
+        nonlocal x, x_hat, inv_std
+        x = a.data
+        dim = x.shape[-1]
+        mu = x.mean(axis=-1, keepdims=True)
+        xc = x - mu
+        # Row sums of squares via einsum: one read of ``xc`` and no
+        # full-size squared buffer (a write+read of the whole array saved
+        # per call; summation-order differences vs the old ``(xc*xc).mean``
+        # land at float rounding).
+        xc2 = xc.reshape(-1, dim)
+        inv_std = np.einsum("ij,ij->i", xc2, xc2).reshape(mu.shape)
+        inv_std /= dim
+        inv_std += eps
+        np.sqrt(inv_std, out=inv_std)
+        np.divide(1.0, inv_std, out=inv_std)
+        x_hat = np.multiply(xc, inv_std, out=xc)  # xc is dead past this point
+        out = x_hat * gamma.data
+        out += beta.data
+        return out
 
     def backward(grad):
         if gamma.data.ndim == 1 and beta.data.ndim == 1 and x.ndim >= 2:
@@ -1214,7 +1419,7 @@ def layer_norm(a, gamma, beta, eps: float = 1e-12) -> Tensor:
         g_xhat *= inv_std
         return g_xhat.astype(x.dtype, copy=False), g_gamma, g_beta
 
-    return _make(out, (a, gamma, beta), backward)
+    return _make(forward(), (a, gamma, beta), backward, forward)
 
 
 def l2_normalize(a, axis: int = -1, eps: float = 1e-12) -> Tensor:

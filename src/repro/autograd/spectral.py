@@ -45,6 +45,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.graph import record_node
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
 from repro.autograd.workspace import get_workspace
 
@@ -251,15 +252,27 @@ def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
     if mask.shape[0] != m:
         raise ValueError(f"mask must have {m} bins, got {mask.shape[0]}")
 
-    filt = (w_real.data + 1j * w_imag.data) * mask  # (M, d) complex
-    spectrum = _rfft(x.data, m)  # (B, M, d) complex
-    out = _filtered_irfft(spectrum, filt, n, "spectral.prod").astype(x.dtype, copy=False)
+    filt = spectrum = None
+
+    def forward():
+        # Replay closure: re-reads the parameter and input arrays on
+        # every call, so a static-graph replay picks up post-optimizer
+        # weights; ``filt``/``spectrum`` are rebound for the backward
+        # closure, which shares these cells.
+        nonlocal filt, spectrum
+        filt = (w_real.data + 1j * w_imag.data) * mask  # (M, d) complex
+        spectrum = _rfft(x.data, m)  # (B, M, d) complex
+        return _filtered_irfft(spectrum, filt, n, "spectral.prod").astype(x.dtype, copy=False)
+
+    out = forward()
 
     if not (
         is_grad_enabled()
         and any(t.requires_grad or t._backward is not None for t in (x, w_real, w_imag))
     ):
-        return Tensor(out)
+        result = Tensor(out)
+        record_node(result, forward, "spectral_filter")
+        return result
 
     mirror = _mirror_weights(n, x.dtype)[:, None]  # (M, 1)
 
@@ -283,7 +296,9 @@ def spectral_filter(x, w_real, w_imag, mask) -> Tensor:
             dw_imag[-1] = 0.0
         return gx, dw_real, dw_imag
 
-    return Tensor(out, _parents=(x, w_real, w_imag), _backward=backward)
+    result = Tensor(out, _parents=(x, w_real, w_imag), _backward=backward)
+    record_node(result, forward, "spectral_filter")
+    return result
 
 
 def _as_column_mask(mask, m: int, dtype) -> np.ndarray:
@@ -329,6 +344,7 @@ def spectral_filter_mixed(
     sfs_mask,
     gamma: float,
     filt: np.ndarray | None = None,
+    filt_provider=None,
 ) -> Tensor:
     """Fused DFS + SFS filter mixing on a single FFT pair (Eqs. 21-27).
 
@@ -349,6 +365,11 @@ def spectral_filter_mixed(
     Parameters mirror :func:`spectral_filter`, doubled per branch;
     ``filt`` optionally injects a cached :func:`combined_filter` result
     so repeated encodes of one training step skip recombination.
+    ``filt_provider`` is the replay-safe variant of the same
+    optimization: a zero-argument callable returning the combined
+    filter, invoked on *every* forward evaluation (build and static
+    -graph replay alike) so replays observe post-optimizer weights;
+    it takes precedence over ``filt``.
     """
     x = as_tensor(x)
     dfs_real, dfs_imag = as_tensor(dfs_real), as_tensor(dfs_imag)
@@ -371,26 +392,52 @@ def spectral_filter_mixed(
         )
     dfs_mask = _as_column_mask(dfs_mask, m, x.dtype)
     sfs_mask = _as_column_mask(sfs_mask, m, x.dtype)
-    if filt is None:
-        filt = combined_filter(dfs_real, dfs_imag, dfs_mask, sfs_real, sfs_imag, sfs_mask, gamma)
-    elif filt.shape != dfs_real.shape:
+    if filt is not None and filt_provider is None and filt.shape != dfs_real.shape:
         raise ValueError(f"cached filter shape {filt.shape} does not match {dfs_real.shape}")
 
-    spectrum = _rfft(x.data, m)  # (B, M, d) complex
-    out = _filtered_irfft(spectrum, filt, n, "spectral.prod").astype(x.dtype, copy=False)
+    filt_used = spectrum = None
+
+    def forward():
+        # Replay closure: the combined filter is re-fetched (provider)
+        # or recombined from the live parameter arrays every call, so a
+        # static-graph replay sees post-optimizer weights; a static
+        # ``filt`` snapshot is kept as-is (its call sites only pass it
+        # for repeated encodes within one step, which a capture never
+        # spans — see FilterMixerLayer).
+        nonlocal filt_used, spectrum
+        if filt_provider is not None:
+            filt_used = filt_provider()
+        elif filt is not None:
+            filt_used = filt
+        else:
+            filt_used = combined_filter(
+                dfs_real, dfs_imag, dfs_mask, sfs_real, sfs_imag, sfs_mask, gamma
+            )
+        spectrum = _rfft(x.data, m)  # (B, M, d) complex
+        return _filtered_irfft(spectrum, filt_used, n, "spectral.prod").astype(
+            x.dtype, copy=False
+        )
+
+    out = forward()
+    if filt_used.shape != dfs_real.shape:
+        raise ValueError(
+            f"cached filter shape {filt_used.shape} does not match {dfs_real.shape}"
+        )
 
     params = (dfs_real, dfs_imag, sfs_real, sfs_imag)
     if not (
         is_grad_enabled()
         and any(t.requires_grad or t._backward is not None for t in (x,) + params)
     ):
-        return Tensor(out)
+        result = Tensor(out)
+        record_node(result, forward, "spectral_filter_mixed")
+        return result
 
     mirror = _mirror_weights(n, x.dtype)[:, None]  # (M, 1)
 
     def backward(grad):
         grad_spec = _rfft(grad, m)  # (B, M, d)
-        gx = _filtered_irfft(grad_spec, np.conj(filt), n, "spectral.gprod").astype(
+        gx = _filtered_irfft(grad_spec, np.conj(filt_used), n, "spectral.gprod").astype(
             x.dtype, copy=False
         )
         # One batch-summed spectrum product serves both branches; the
@@ -410,7 +457,9 @@ def spectral_filter_mixed(
             grads.extend((dw_real, dw_imag))
         return tuple(grads)
 
-    return Tensor(out, _parents=(x,) + params, _backward=backward)
+    result = Tensor(out, _parents=(x,) + params, _backward=backward)
+    record_node(result, forward, "spectral_filter_mixed")
+    return result
 
 
 def dft_matrices(n: int, dtype=np.float64) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:

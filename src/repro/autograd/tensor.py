@@ -252,65 +252,7 @@ class Tensor:
                 raise ValueError(
                     f"grad shape {grad.shape} does not match tensor shape {self.data.shape}"
                 )
-
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[Tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited:
-                    stack.append((parent, False))
-
-        # In-flight gradient buffers.  ``owned`` holds the ids of nodes
-        # whose dict buffer was allocated by this loop (via ``+``) and is
-        # therefore safe to update in place; first contributions are
-        # borrowed references from backward closures and must not be
-        # mutated, because closures may hand the same array to several
-        # parents (e.g. ``add`` returns its incoming grad twice).
-        grads: dict[int, np.ndarray] = {id(self): grad}
-        owned: set[int] = set()
-        for node in reversed(topo):
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            owned.discard(id(node))
-            if node.requires_grad:
-                node._accumulate_grad(node_grad)
-            if node._backward is None:
-                continue
-            parent_grads = node._backward(node_grad)
-            if parent_grads is None:
-                continue
-            for parent, pgrad in zip(node._parents, parent_grads):
-                if pgrad is None:
-                    continue
-                if not (parent.requires_grad or parent._backward is not None):
-                    continue
-                pid = id(parent)
-                existing = grads.get(pid)
-                if existing is None:
-                    grads[pid] = pgrad
-                elif (
-                    pid in owned
-                    # 0-d arithmetic returns immutable numpy scalars, for
-                    # which ``+=`` would rebind the local and silently
-                    # drop the contribution — only true ndarrays qualify.
-                    and type(existing) is np.ndarray
-                    and existing.shape == pgrad.shape
-                    and existing.dtype == np.result_type(existing.dtype, pgrad.dtype)
-                ):
-                    existing += pgrad
-                else:
-                    grads[pid] = existing + pgrad
-                    owned.add(pid)
+        _backward_over(_topo_sort(self), self, grad)
 
     # ------------------------------------------------------------------
     # Operator sugar (implementations live in functional.py)
@@ -423,6 +365,81 @@ class Tensor:
         from repro.autograd import functional as F
 
         return F.relu(self)
+
+
+def _topo_sort(root: "Tensor") -> list:
+    """Topologically sort ``root``'s autograd graph (parents first).
+
+    Iterative DFS so deep chains (e.g. unrolled GRUs) never hit the
+    recursion limit.  Shared between the dynamic :meth:`Tensor.backward`
+    and the static-graph tape, which captures this list once and replays
+    :func:`_backward_over` against it — keeping the accumulation order,
+    and therefore the float bit patterns, identical across both modes.
+    """
+    topo: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    return topo
+
+
+def _backward_over(topo: list, root: "Tensor", grad: np.ndarray) -> None:
+    """Run the reverse sweep over a pre-built topological order.
+
+    In-flight gradient buffers: ``owned`` holds the ids of nodes whose
+    dict buffer was allocated by this loop (via ``+``) and is therefore
+    safe to update in place; first contributions are borrowed references
+    from backward closures and must not be mutated, because closures may
+    hand the same array to several parents (e.g. ``add`` returns its
+    incoming grad twice).
+    """
+    grads: dict[int, np.ndarray] = {id(root): grad}
+    owned: set[int] = set()
+    for node in reversed(topo):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        owned.discard(id(node))
+        if node.requires_grad:
+            node._accumulate_grad(node_grad)
+        if node._backward is None:
+            continue
+        parent_grads = node._backward(node_grad)
+        if parent_grads is None:
+            continue
+        for parent, pgrad in zip(node._parents, parent_grads):
+            if pgrad is None:
+                continue
+            if not (parent.requires_grad or parent._backward is not None):
+                continue
+            pid = id(parent)
+            existing = grads.get(pid)
+            if existing is None:
+                grads[pid] = pgrad
+            elif (
+                pid in owned
+                # 0-d arithmetic returns immutable numpy scalars, for
+                # which ``+=`` would rebind the local and silently
+                # drop the contribution — only true ndarrays qualify.
+                and type(existing) is np.ndarray
+                and existing.shape == pgrad.shape
+                and existing.dtype == np.result_type(existing.dtype, pgrad.dtype)
+            ):
+                existing += pgrad
+            else:
+                grads[pid] = existing + pgrad
+                owned.add(pid)
 
 
 TensorLike = Union[Tensor, np.ndarray, float, int, Sequence]

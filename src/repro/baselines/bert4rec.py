@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.graph import record_host
 from repro.autograd.tensor import Tensor
 from repro.baselines.transformer import TransformerEncoder
 from repro.core.encoder import SequentialEncoderBase
@@ -64,7 +65,11 @@ class BERT4Rec(SequentialEncoderBase):
 
     # ------------------------------------------------------------------
     def encode_states(self, input_ids: np.ndarray) -> Tensor:
-        padding = np.asarray(input_ids) == 0
+        ids = np.asarray(input_ids)
+        padding = ids == 0
+        # Static-graph replay: refresh the padding mask in place from the
+        # persistent input buffer (see sasrec.py for the same pattern).
+        record_host(lambda: np.equal(ids, 0, out=padding), "bert4rec.padding")
         hidden = self.embed(input_ids)
         for block in self.encoder.blocks:
             hidden = block(hidden, key_padding_mask=padding)
@@ -73,19 +78,32 @@ class BERT4Rec(SequentialEncoderBase):
     # ------------------------------------------------------------------
     def loss(self, batch: Batch) -> Tensor:
         """Cloze objective over randomly masked non-padding positions."""
-        inputs = np.asarray(batch.input_ids, dtype=np.int64).copy()
-        # Fold the next-item target in as the final sequence element so
-        # the Cloze task sees complete sequences (standard practice).
-        inputs = np.roll(inputs, -1, axis=1)
-        inputs[:, -1] = batch.targets
+        ids = np.asarray(batch.input_ids, dtype=np.int64)
+        inputs = np.empty_like(ids)
+        labels = np.empty_like(ids)
+        corrupted = np.empty_like(ids)
 
-        labels = np.full_like(inputs, _IGNORE)
-        real = inputs != 0
-        masked = real & (self._mask_rng.random(inputs.shape) < self.mask_prob)
-        # Always mask the last position: it is exactly the next-item task.
-        masked[:, -1] = True
-        labels[masked] = inputs[masked]
-        corrupted = np.where(masked, self.mask_token, inputs)
+        def prepare():
+            # Fold the next-item target in as the final sequence element
+            # so the Cloze task sees complete sequences (standard
+            # practice); equals ``roll(ids, -1, axis=1)`` with the
+            # rolled-around column overwritten by the targets.
+            inputs[:, :-1] = ids[:, 1:]
+            inputs[:, -1] = batch.targets
+            labels.fill(_IGNORE)
+            real = inputs != 0
+            masked = real & (self._mask_rng.random(inputs.shape) < self.mask_prob)
+            # Always mask the last position: it is exactly the next-item task.
+            masked[:, -1] = True
+            labels[masked] = inputs[masked]
+            np.copyto(corrupted, inputs)
+            corrupted[masked] = self.mask_token
+
+        prepare()
+        # Static-graph replay: the Cloze corruption (including the fresh
+        # mask RNG draw) reruns as a host entry into the same arrays the
+        # captured graph reads.
+        record_host(prepare, "bert4rec.cloze")
 
         states = self.encode_states(corrupted)  # (B, N, d)
         table = F.transpose(self._score_table(), (1, 0))

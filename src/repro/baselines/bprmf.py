@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.graph import record_host
 from repro.autograd.tensor import Tensor
 from repro.core.encoder import SequentialEncoderBase
 from repro.data.batching import Batch
@@ -49,6 +50,14 @@ class BPRMF(SequentialEncoderBase):
         input_ids = np.asarray(input_ids, dtype=np.int64)
         embedded = self.item_embedding(input_ids)  # (B, N, d)
         counts = np.maximum((input_ids != 0).sum(axis=1, keepdims=True), 1).astype(embedded.dtype)
+        # Static-graph replay: refresh the history-length denominators in
+        # place from the persistent input buffer.
+        record_host(
+            lambda: np.copyto(
+                counts, np.maximum((input_ids != 0).sum(axis=1, keepdims=True), 1)
+            ),
+            "bprmf.counts",
+        )
         pooled = F.div(F.sum(embedded, axis=1), Tensor(counts))  # (B, d)
         batch = input_ids.shape[0]
         # Broadcast the pooled vector to every position for interface parity.
@@ -59,13 +68,21 @@ class BPRMF(SequentialEncoderBase):
         """BPR: ``-log sigmoid(score(pos) - score(neg))`` with 1 negative."""
         user = F.getitem(self.encode_states(batch.input_ids), (slice(None), -1))
         pos_emb = self.item_embedding(batch.targets)
-        negatives = self._neg_rng.integers(1, self.num_items + 1, size=batch.targets.shape)
-        # Resample collisions with the positive once (close enough to exact).
-        collision = negatives == batch.targets
-        if collision.any():
-            negatives[collision] = (
-                negatives[collision] % self.num_items
-            ) + 1
+        negatives = np.empty(batch.targets.shape, dtype=np.int64)
+
+        def draw():
+            negatives[...] = self._neg_rng.integers(
+                1, self.num_items + 1, size=negatives.shape
+            )
+            # Resample collisions with the positive once (close enough to exact).
+            collision = negatives == batch.targets
+            if collision.any():
+                negatives[collision] = (negatives[collision] % self.num_items) + 1
+
+        draw()
+        # Static-graph replay: redraw negatives per step into the same
+        # index array the captured embedding lookup reads.
+        record_host(draw, "bprmf.negatives")
         neg_emb = self.item_embedding(negatives)
         pos_score = F.sum(F.mul(user, pos_emb), axis=1)
         neg_score = F.sum(F.mul(user, neg_emb), axis=1)

@@ -18,6 +18,7 @@ from typing import List
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.graph import record_host
 from repro.autograd.tensor import Tensor
 from repro.baselines.sasrec import SASRec
 from repro.core.contrastive import info_nce_loss
@@ -106,7 +107,17 @@ class CL4SRec(SASRec):
         return pad_or_truncate(items, self.max_len)
 
     def _augment_batch(self, input_ids: np.ndarray) -> np.ndarray:
-        return np.stack([self._augment_row(row) for row in np.asarray(input_ids)])
+        ids = np.asarray(input_ids)
+        out = np.stack([self._augment_row(row) for row in ids])
+
+        def refresh():
+            # Static-graph replay: re-augment (fresh RNG draws) into the
+            # same array the captured graph reads from.
+            for i, row in enumerate(ids):
+                out[i] = self._augment_row(row)
+
+        record_host(refresh, "cl4srec.augment")
+        return out
 
     def _user(self, input_ids: np.ndarray) -> Tensor:
         return F.getitem(self.encode_states(input_ids), (slice(None), -1))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.graph import record_host
 from repro.autograd.tensor import Tensor
 from repro.baselines.sasrec import SASRec
 from repro.core.contrastive import info_nce_loss
@@ -64,9 +65,16 @@ class ContrastVAE(SASRec):
         return mu, logvar
 
     def _sample(self, mu: Tensor, logvar: Tensor) -> Tensor:
-        eps = Tensor(self._eps_rng.standard_normal(mu.shape).astype(mu.dtype))
+        eps_data = self._eps_rng.standard_normal(mu.shape).astype(mu.dtype)
+        # Static-graph replay: redraw the reparameterization noise into
+        # the same array each step, consuming the generator exactly as a
+        # dynamic run would.
+        record_host(
+            lambda: np.copyto(eps_data, self._eps_rng.standard_normal(eps_data.shape)),
+            "contrastvae.eps",
+        )
         std = F.exp(F.mul(logvar, 0.5))
-        return F.add(mu, F.mul(std, eps))
+        return F.add(mu, F.mul(std, Tensor(eps_data)))
 
     # ------------------------------------------------------------------
     def predict_scores(self, input_ids: np.ndarray, context: np.ndarray | None = None) -> np.ndarray:

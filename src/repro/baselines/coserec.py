@@ -23,6 +23,7 @@ from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.baselines.cl4srec import augmented_contrastive_loss
 from repro.baselines.sasrec import SASRec
+from repro.autograd.graph import record_host
 from repro.data.augmentation import ItemCorrelation, insert_sequence, substitute_sequence
 from repro.data.batching import Batch
 from repro.data.dataset import SequenceDataset
@@ -83,7 +84,17 @@ class CoSeRec(SASRec):
         return pad_or_truncate(items, self.max_len)
 
     def _augment_batch(self, input_ids: np.ndarray) -> np.ndarray:
-        return np.stack([self._augment_row(row) for row in np.asarray(input_ids)])
+        ids = np.asarray(input_ids)
+        out = np.stack([self._augment_row(row) for row in ids])
+
+        def refresh():
+            # Static-graph replay: re-augment (fresh RNG draws) into the
+            # same array the captured graph reads from.
+            for i, row in enumerate(ids):
+                out[i] = self._augment_row(row)
+
+        record_host(refresh, "coserec.augment")
+        return out
 
     def _user(self, input_ids: np.ndarray) -> Tensor:
         return F.getitem(self.encode_states(input_ids), (slice(None), -1))

@@ -77,6 +77,10 @@ def build_baseline(
     ignoring them.
     """
     knobs: Dict = {k: overrides.pop(k) for k in LOSS_KNOBS if k in overrides}
+    # The static-graph opt-in is plumbed like the loss knobs: a
+    # SlimeConfig field for SLIME4Rec, a plain post-construction
+    # attribute (declared on SequentialEncoderBase) for every baseline.
+    static_graph = overrides.pop("static_graph", None)
     # Fail at build time, not at the first training step (mirrors the
     # SlimeConfig validation for the attribute-plumbed models).
     if knobs and name in BESPOKE_LOSS_MODELS:
@@ -114,6 +118,7 @@ def build_baseline(
             dtype=dtype,
             **overrides,
             **knobs,
+            **({} if static_graph is None else {"static_graph": bool(static_graph)}),
         )
         return Slime4Rec(config)
     if name == "BPR-MF":
@@ -144,4 +149,6 @@ def build_baseline(
         raise KeyError(f"unknown model '{name}'; choose from {BASELINE_NAMES}")
     for key, value in knobs.items():
         setattr(model, key, value)
+    if static_graph is not None:
+        model.static_graph = bool(static_graph)
     return model

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.graph import GraphCaptureError, is_capturing
 from repro.autograd.tensor import Tensor
 from repro.baselines.sasrec import SASRec
 from repro.data.batching import Batch
@@ -87,6 +88,12 @@ class S3Rec(SASRec):
         return F.cross_entropy(logits, labels, ignore_index=_IGNORE)
 
     def loss(self, batch: Batch) -> Tensor:
+        if is_capturing():
+            raise GraphCaptureError(
+                "S3Rec.loss is not replay-safe: the pretrain->finetune switch "
+                "changes the graph topology at a step count the tape executor "
+                "cannot observe; train S3Rec with static_graph=False"
+            )
         self._steps_done += 1
         if self._steps_done <= self.pretrain_steps:
             return self.cloze_loss(batch)

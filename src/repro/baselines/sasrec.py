@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autograd.graph import record_host
 from repro.autograd.tensor import Tensor
 from repro.baselines.transformer import TransformerEncoder
 from repro.core.encoder import SequentialEncoderBase
@@ -55,7 +56,12 @@ class SASRec(SequentialEncoderBase):
         )
 
     def encode_states(self, input_ids: np.ndarray) -> Tensor:
-        padding = np.asarray(input_ids) == 0
+        ids = np.asarray(input_ids)
+        padding = ids == 0
+        # Static-graph replay: ``ids`` aliases the executor's persistent
+        # input buffer, so the padding mask is refreshed in place for the
+        # downstream block-mask host entry.
+        record_host(lambda: np.equal(ids, 0, out=padding), "sasrec.padding")
         hidden = self.embed(input_ids)
         for block in self.encoder.blocks:
             hidden = block(self.inject_noise(hidden), key_padding_mask=padding)

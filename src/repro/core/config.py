@@ -87,6 +87,16 @@ class SlimeConfig:
         Proposal distribution for ``train_num_negatives``:
         ``"uniform"`` (default) or ``"log_uniform"`` (Zipfian,
         popularity-weighted when item ids are popularity-sorted).
+    static_graph:
+        Opt-in to the static-graph tape executor (off by default): the
+        trainer captures one training step into a replayable tape and
+        replays it as a flat loop of kernel calls on subsequent
+        same-shape batches, skipping per-step autograd graph
+        construction.  Replays are bitwise-identical to the dynamic
+        engine in float64; divergent geometry/topology (ragged final
+        batch, ``noise_eps > 0``, changed dropout ambient state) falls
+        back to the dynamic path with a logged reason.  See
+        ``docs/ARCHITECTURE.md``.
     noise_eps:
         When positive, uniform noise of this relative magnitude is
         injected into every layer input (the Figure 6 robustness knob).
@@ -122,6 +132,7 @@ class SlimeConfig:
     ce_chunk_size: int | None = None
     train_num_negatives: int | None = None
     negative_sampling: str = "uniform"
+    static_graph: bool = False
     noise_eps: float = 0.0
     seed: int = 0
     dtype: str | None = None

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.graph import GraphCaptureError, is_capturing, record_host
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.negative_sampling import NegativeSampler
 from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, Module
@@ -87,6 +88,13 @@ class SequentialEncoderBase(Module):
         The resolved dtype is exposed as ``self.dtype`` so subclasses
         can type their own submodules consistently.
     """
+
+    #: Opt-in to the static-graph tape executor: when True the trainer
+    #: captures one training step into a :class:`repro.autograd.graph.Tape`
+    #: and replays it on subsequent same-shape batches instead of
+    #: rebuilding the autograd graph (see ``docs/ARCHITECTURE.md``).
+    #: Off by default; the dynamic engine remains the reference.
+    static_graph: bool = False
 
     def __init__(
         self,
@@ -156,6 +164,13 @@ class SequentialEncoderBase(Module):
         """
         if self.noise_eps <= 0.0:
             return x
+        if is_capturing():
+            raise GraphCaptureError(
+                "inject_noise is not replay-safe: the Figure-6 noise protocol "
+                "scales by the live batch statistics (std of the layer input), "
+                "which a tape replay cannot reproduce without rebuilding the "
+                "graph; run noise-robustness sweeps with static_graph=False"
+            )
         scale = float(x.data.std()) * self.noise_eps
         noise = self._noise_rng.uniform(-scale, scale, size=x.shape).astype(x.dtype)
         return F.add(x, Tensor(noise))
@@ -203,6 +218,13 @@ class SequentialEncoderBase(Module):
             )
         batch = arrays[0].shape[0]
         stacked = np.concatenate(arrays, axis=0)
+        # Static-graph replay: the view arrays alias the executor's
+        # persistent input buffers (refreshed in place per batch), so
+        # the stacked batch is re-concatenated into the same array
+        # object the captured encode reads from.
+        record_host(
+            lambda: np.concatenate(arrays, axis=0, out=stacked), "encode_views.stack"
+        )
         with dropout_views(len(arrays)):
             states = self.encode_states(stacked)
         user = F.getitem(states, (slice(None), -1))  # (V*B, d)

@@ -156,6 +156,13 @@ class FilterMixerLayer(Module):
         Both branches active -> the fused single-FFT-pair op; single
         branch (ablations w/oD and w/oS) -> the original per-branch
         :func:`spectral_filter`, byte-for-byte the seed behaviour.
+
+        The combined filter is handed over as a *provider* (the bound
+        cached method) rather than a precomputed array so static-graph
+        replays re-fetch it after each optimizer step; the
+        :class:`~repro.nn.workspace.ParamCache` behind it still
+        collapses the three contrastive encodes of one step to a single
+        recombination.
         """
         if self.dfs_mask is None:
             return spectral_filter(x, self.sfs_real, self.sfs_imag, self.sfs_mask)
@@ -166,7 +173,7 @@ class FilterMixerLayer(Module):
             self.dfs_real, self.dfs_imag, self.dfs_mask,
             self.sfs_real, self.sfs_imag, self.sfs_mask,
             self.gamma,
-            filt=self._combined_filter(),
+            filt_provider=self._combined_filter,
         )
 
     def forward(self, x: Tensor) -> Tensor:

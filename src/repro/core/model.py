@@ -50,6 +50,7 @@ class Slime4Rec(SequentialEncoderBase):
         self.ce_chunk_size = config.ce_chunk_size
         self.train_num_negatives = config.train_num_negatives
         self.negative_sampling = config.negative_sampling
+        self.static_graph = config.static_graph
         rng = np.random.default_rng(config.seed + 2)
         m = num_frequency_bins(config.max_len)
         dfs_masks, sfs_masks = ramp_masks(

@@ -43,6 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import functional as F
+from repro.autograd.graph import record_host, record_node
 from repro.autograd.tensor import Tensor, is_grad_enabled
 from repro.nn.dropout import Dropout
 from repro.nn.linear import Linear
@@ -65,8 +66,7 @@ def _readonly(a: np.ndarray) -> np.ndarray:
 def _fused_qkv_heads(
     x: Tensor,
     params: tuple,
-    w_cat: np.ndarray,
-    b_cat: np.ndarray,
+    qkv_cat,
     num_heads: int,
     scale: float,
 ) -> tuple:
@@ -77,7 +77,10 @@ def _fused_qkv_heads(
     ``(wq, bq, wk, bk, wv, bv)`` of the *original* projection
     parameters — gradients are routed back to them by splitting the
     fused GEMM's weight/bias gradients, so the fusion is invisible to
-    optimizers and checkpoints.
+    optimizers and checkpoints.  ``qkv_cat`` is a zero-argument
+    callable returning the cached ``(w_cat, b_cat)`` concatenation; it
+    is invoked on every forward evaluation (build and static-graph
+    replay alike) so replays observe post-optimizer weights.
 
     The backward pass is fused too: each sibling contributes its
     incoming gradient to one slab of a shared ``(3, B, H, N, hd)``
@@ -89,20 +92,33 @@ def _fused_qkv_heads(
     """
     batch, length, dim = x.shape
     head_dim = dim // num_heads
-    x2 = x.data.reshape(-1, dim)  # (B*N, d) view
-    qkv = x2 @ w_cat
-    qkv += b_cat
-    if scale != 1.0:
-        qkv[:, :dim] *= scale
-    packed = np.ascontiguousarray(
-        qkv.reshape(batch, length, 3, num_heads, head_dim).transpose(2, 0, 3, 1, 4)
-    )  # (3, B, H, N, hd)
+    w_cat = b_cat = x2 = packed = None
+
+    def forward():
+        # Replay closure: re-fetches the concatenated weights and the
+        # live input array every call; ``w_cat``/``x2``/``packed`` are
+        # rebound for the backward closure, which shares these cells.
+        nonlocal w_cat, b_cat, x2, packed
+        w_cat, b_cat = qkv_cat()
+        x2 = x.data.reshape(-1, dim)  # (B*N, d) view
+        qkv = x2 @ w_cat
+        qkv += b_cat
+        if scale != 1.0:
+            qkv[:, :dim] *= scale
+        packed = np.ascontiguousarray(
+            qkv.reshape(batch, length, 3, num_heads, head_dim).transpose(2, 0, 3, 1, 4)
+        )  # (3, B, H, N, hd)
+        return packed[0], packed[1], packed[2]
+
+    forward()
 
     needs_grad = is_grad_enabled() and (
         x.requires_grad or x._backward is not None or any(p.requires_grad for p in params)
     )
     if not needs_grad:
-        return tuple(Tensor(packed[i]) for i in range(3))
+        outs = tuple(Tensor(packed[i]) for i in range(3))
+        record_node(outs, forward, "fused_qkv")
+        return outs
 
     parents = (x,) + tuple(params)
     state = {"arrived": 0, "gbuf": None}
@@ -135,9 +151,11 @@ def _fused_qkv_heads(
 
         return backward
 
-    return tuple(
+    outs = tuple(
         Tensor(packed[i], _parents=parents, _backward=make_backward(i)) for i in range(3)
     )
+    record_node(outs, forward, "fused_qkv")
+    return outs
 
 
 def _attention_output(context: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
@@ -150,10 +168,17 @@ def _attention_output(context: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
     """
     batch, heads, length, head_dim = context.shape
     dim = heads * head_dim
-    ctx2 = context.data.transpose(0, 2, 1, 3).reshape(batch * length, dim)  # copies
-    out = ctx2 @ weight.data
-    out += bias.data
-    out = out.reshape(batch, length, dim)
+    ctx2 = None
+
+    def forward():
+        # Replay closure: ``ctx2`` is rebound for the backward closure.
+        nonlocal ctx2
+        ctx2 = context.data.transpose(0, 2, 1, 3).reshape(batch * length, dim)  # copies
+        out = ctx2 @ weight.data
+        out += bias.data
+        return out.reshape(batch, length, dim)
+
+    out = forward()
 
     needs_grad = is_grad_enabled() and (
         context.requires_grad
@@ -162,7 +187,9 @@ def _attention_output(context: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
         or bias.requires_grad
     )
     if not needs_grad:
-        return Tensor(out)
+        result = Tensor(out)
+        record_node(result, forward, "attention_output")
+        return result
 
     def backward(grad):
         g2 = grad.reshape(batch * length, dim)
@@ -175,7 +202,9 @@ def _attention_output(context: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
         gb = g2.sum(axis=0)
         return (gctx, gw, gb)
 
-    return Tensor(out, _parents=(context, weight, bias), _backward=backward)
+    result = Tensor(out, _parents=(context, weight, bias), _backward=backward)
+    record_node(result, forward, "attention_output")
+    return result
 
 
 class MultiHeadSelfAttention(Module):
@@ -276,12 +305,25 @@ class MultiHeadSelfAttention(Module):
             ("attn.not_eye", length),
             lambda: _readonly(~np.eye(length, dtype=bool)),
         )
-        block = np.logical_and(key_padding_mask[:, None, None, :], not_eye)
-        if self.causal:
-            causal = ws.cached(
-                ("attn.causal2d", length), lambda: _readonly(causal_mask(length))
-            )
-            np.logical_or(block, causal, out=block)
+        causal = (
+            ws.cached(("attn.causal2d", length), lambda: _readonly(causal_mask(length)))
+            if self.causal
+            else None
+        )
+
+        def build(out=None):
+            res = np.logical_and(key_padding_mask[:, None, None, :], not_eye, out=out)
+            if causal is not None:
+                np.logical_or(res, causal, out=res)
+            return res
+
+        block = build()
+        # Static-graph replay: ``key_padding_mask`` is a persistent host
+        # buffer refreshed in place per batch (see the encoders'
+        # ``record_host`` sites), so the blocked pattern is recomputed
+        # into the same array object that downstream masked_fill
+        # closures captured.
+        record_host(lambda: build(out=block), "attention.block_mask")
         return block
 
     # ------------------------------------------------------------------
@@ -308,7 +350,6 @@ class MultiHeadSelfAttention(Module):
         if not (self.fused and biased):
             return self._forward_unfused(x, block, batch, length)
 
-        w_cat, b_cat = self._qkv_cat()
         q, k, v = _fused_qkv_heads(
             x,
             (
@@ -316,8 +357,7 @@ class MultiHeadSelfAttention(Module):
                 self.key.weight, self.key.bias,
                 self.value.weight, self.value.bias,
             ),
-            w_cat,
-            b_cat,
+            self._qkv_cat,
             self.num_heads,
             float(1.0 / np.sqrt(self.head_dim)),
         )

@@ -107,18 +107,31 @@ class VerticalConv(Module):
 
 def _max_over_axis(x: Tensor, axis: int) -> Tensor:
     """Differentiable max along ``axis`` (gradient flows to argmax)."""
-    data = x.data
-    idx = data.argmax(axis=axis)
-    out = np.take_along_axis(data, np.expand_dims(idx, axis), axis=axis).squeeze(axis)
+    idx = None
 
+    def forward():
+        # Replay closure: argmax indices are data-dependent, so they are
+        # recomputed (and rebound for the backward closure) every call.
+        nonlocal idx
+        data = x.data
+        idx = data.argmax(axis=axis)
+        return np.take_along_axis(data, np.expand_dims(idx, axis), axis=axis).squeeze(axis)
+
+    out = forward()
+
+    from repro.autograd.graph import record_node
     from repro.autograd.tensor import Tensor as _T, is_grad_enabled
 
     if not (is_grad_enabled() and (x.requires_grad or x._backward is not None)):
-        return _T(out)
+        result = _T(out)
+        record_node(result, forward, "max_over_axis")
+        return result
 
     def backward(grad):
-        full = np.zeros_like(data)
+        full = np.zeros_like(x.data)
         np.put_along_axis(full, np.expand_dims(idx, axis), np.expand_dims(grad, axis), axis=axis)
         return (full,)
 
-    return _T(out, _parents=(x,), _backward=backward)
+    result = _T(out, _parents=(x,), _backward=backward)
+    record_node(result, forward, "max_over_axis")
+    return result

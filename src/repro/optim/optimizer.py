@@ -88,5 +88,20 @@ def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:
-            p.grad = p.grad * scale
+            # getattr: duck-typed parameter stubs (tests) may not carry
+            # the ownership slot; borrowed is the safe default.
+            if getattr(p, "_grad_owned", False):
+                # Owned buffers are per-parameter allocations (a copy or
+                # the result of ``+``), so scaling in place is safe and —
+                # crucially for the static-graph executor, which seeds
+                # persistent per-parameter grad buffers before every
+                # backward — keeps the buffer identity stable instead of
+                # orphaning it with a fresh allocation each step.
+                np.multiply(p.grad, scale, out=p.grad)
+            else:
+                # Borrowed references may be shared between parameters
+                # (a backward closure can hand the same array to two
+                # parents), so in-place scaling would double-apply; the
+                # rebind allocates and the grad setter marks it borrowed.
+                p.grad = p.grad * scale
     return total

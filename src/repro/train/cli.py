@@ -108,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
         "the continued run is bitwise-identical to one that never stopped",
     )
     parser.add_argument(
+        "--static-graph",
+        action="store_true",
+        help="capture one training step into a static tape and replay it on "
+        "subsequent same-shape batches (bitwise-identical to the dynamic "
+        "engine; falls back to dynamic per step on geometry mismatch and "
+        "permanently on replay-unsafe models)",
+    )
+    parser.add_argument(
         "--guard-policy",
         choices=("raise", "skip", "rollback"),
         default="raise",
@@ -157,6 +165,8 @@ def main(argv=None) -> int:
         overrides["negative_sampling"] = args.negative_sampling or "uniform"
     if args.ce_chunk_size is not None:
         overrides["ce_chunk_size"] = args.ce_chunk_size
+    if args.static_graph:
+        overrides["static_graph"] = True
     model = build_baseline(
         args.model,
         dataset,

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.autograd.graph import TapeExecutor
 from repro.data.batching import BatchIterator
 from repro.data.dataset import SequenceDataset
 from repro.evaluation.evaluator import EvalResult, Evaluator
@@ -188,6 +189,13 @@ class Trainer:
             if self.config.checkpoint_dir
             else None
         )
+        # Static-graph tape executor, built lazily at the first training
+        # step when the model opts in via ``model.static_graph`` (a
+        # SlimeConfig field / SequentialEncoderBase attribute).  The
+        # dynamic engine stays the reference; the executor falls back to
+        # it per step on geometry mismatch and permanently on
+        # replay-unsafe graphs (see repro.autograd.graph).
+        self._executor: Optional[TapeExecutor] = None
         # Run-state fields, (re)initialized by fit()/restores.
         self.history = TrainHistory()
         self._best_state: Optional[Dict[str, np.ndarray]] = None
@@ -302,14 +310,22 @@ class Trainer:
         history = self.history
         step_index = self._global_step
         self.optimizer.zero_grad()
-        loss = self.model.loss(batch)
-        loss_value = float(loss.data)
+        if getattr(self.model, "static_graph", False):
+            if self._executor is None or self._executor.model is not self.model:
+                self._executor = TapeExecutor(self.model)
+            result = self._executor.step(batch)
+            loss_value = result.loss
+            run_backward = result.backward
+        else:
+            loss = self.model.loss(batch)
+            loss_value = float(loss.data)
+            run_backward = loss.backward
         bad: Optional[str] = None
         if not math.isfinite(loss_value):
             bad = "loss"
             history.nonfinite_losses += 1
         else:
-            loss.backward()
+            run_backward()
             if cfg.grad_clip > 0:
                 # The pre-clip global norm doubles as the gradient
                 # guard: any NaN/Inf gradient makes it non-finite, and
