@@ -19,12 +19,20 @@ Setup (no dataset build — random-id traffic at serving geometry):
    user stream (observe one event, then recommend) against each arm,
    interleaving the arms round-robin to cancel thermal/cache drift.
 
+Besides the fast/naive pair, two resilience arms ride along:
+``serve_degraded`` replays the same stream against the permanent
+popularity fallback (the latency floor when the model path is down)
+and ``serve_overload`` replays at 2x concurrency against a
+deliberately under-provisioned shed-policy service (answered-request
+latency + shed rate when overload is explicit instead of absorbed).
+
 Writes:
 
 - ``benchmarks/results/serving_latency.json`` — the committed A/B
   record (p50/p99/QPS per arm + the fidelity numbers);
 - one ``variant``-tagged line per arm (``serve_fast`` /
-  ``serve_naive``) to ``benchmarks/results/step_time_history.jsonl``
+  ``serve_naive`` / ``serve_degraded`` / ``serve_overload``) to
+  ``benchmarks/results/step_time_history.jsonl``
   (skipped with ``--no-record`` or ``PERF_SMOKE_NO_RECORD=1``).  The
   perf-smoke rolling-median gate compares strictly within a variant.
 
@@ -194,7 +202,37 @@ def arm_configs(args) -> dict:
             batching=False,
             reuse_user_state=False,
         ),
+        # permanent popularity fallback: the floor the service degrades
+        # to when the model path is down (enter_fallback after seeding)
+        "serve_degraded": ServingConfig(
+            k=args.k,
+            table_dtype="float16",
+            topk="blocked",
+            micro_batch=32,
+            max_wait_ms=2.0,
+            batching=True,
+            reuse_user_state=True,
+        ),
+        # deliberately under-provisioned + shed admission: measures the
+        # latency of the *answered* requests when overload is explicit
+        # instead of absorbed as queue time (replayed at 2x concurrency)
+        "serve_overload": ServingConfig(
+            k=args.k,
+            table_dtype="float16",
+            topk="blocked",
+            micro_batch=4,
+            max_wait_ms=2.0,
+            batching=True,
+            reuse_user_state=True,
+            queue_capacity=4,
+            admission_policy="shed",
+            request_timeout_ms=2000.0,
+        ),
     }
+
+
+#: arms in the fidelity gate and the headline fast-vs-naive speedup
+PRIMARY_ARMS = ("serve_fast", "serve_naive")
 
 
 def fidelity_gate(args, model, traffic: Traffic, rng) -> dict:
@@ -219,7 +257,9 @@ def fidelity_gate(args, model, traffic: Traffic, rng) -> dict:
     targets = np.asarray(targets)
 
     metrics = {}
-    for name, config in arm_configs(args).items():
+    configs = arm_configs(args)
+    for name in PRIMARY_ARMS:
+        config = configs[name]
         with RecommenderService(model, config) as service:
             for user, history in enumerate(histories):
                 service.observe_history(user, history)
@@ -244,12 +284,24 @@ def fidelity_gate(args, model, traffic: Traffic, rng) -> dict:
 
 
 def replay_segment(
-    service, users, events, writes, latencies, offset, concurrency
+    service, users, events, writes, latencies, offset, concurrency, counters=None
 ) -> float:
-    """Closed-loop replay of one pre-drawn request segment; returns wall."""
+    """Closed-loop replay of one pre-drawn request segment; returns wall.
+
+    Shed / deadline-expired requests record NaN latency (they got a
+    typed error, not an answer) and are tallied into ``counters`` along
+    with degraded answers.
+    """
+    from repro.serving import DeadlineExceeded, Overloaded
+
     count = len(users)
     cursor = [0]
     cursor_lock = threading.Lock()
+    if counters is None:
+        counters = {}
+    counters.setdefault("shed", 0)
+    counters.setdefault("deadline_expired", 0)
+    counters.setdefault("degraded", 0)
 
     def worker() -> None:
         while True:
@@ -261,8 +313,26 @@ def replay_segment(
             if writes[i]:
                 service.observe(int(users[i]), int(events[i]))
             start = time.perf_counter()
-            service.recommend(int(users[i]))
+            try:
+                result = service.recommend(int(users[i]))
+            except Overloaded:
+                latencies[offset + i] = np.nan
+                with cursor_lock:
+                    counters["shed"] += 1
+                # client-side backoff on an explicit 429-style shed;
+                # without it the closed loop spin-sheds the whole
+                # pre-drawn stream while one batch is in flight
+                time.sleep(0.025)
+                continue
+            except DeadlineExceeded:
+                latencies[offset + i] = np.nan
+                with cursor_lock:
+                    counters["deadline_expired"] += 1
+                continue
             latencies[offset + i] = (time.perf_counter() - start) * 1000.0
+            if result.degraded:
+                with cursor_lock:
+                    counters["degraded"] += 1
 
     start = time.perf_counter()
     threads = [
@@ -294,15 +364,33 @@ def latency_ab(args, model, traffic: Traffic, rng) -> dict:
     events = traffic.draw_items(args.requests, rng)
     writes = rng.random(args.requests) < args.observe_prob
 
-    services, latencies, walls = {}, {}, {}
+    # the overload arm models more clients than the service is
+    # provisioned for; the others replay at the configured concurrency
+    concurrency = {
+        name: args.concurrency * 2 if name == "serve_overload" else args.concurrency
+        for name in arm_configs(args)
+    }
+
+    services, latencies, walls, counters = {}, {}, {}, {}
     for name, config in arm_configs(args).items():
         services[name] = RecommenderService(model, config)
         for user, history in enumerate(user_histories):
             services[name].observe_history(user, history)
         latencies[name] = np.zeros(args.requests)
         walls[name] = 0.0
+        counters[name] = {}
         # warm up: table snapshot + one request outside the timing
         services[name].recommend(0)
+        if name == "serve_degraded":
+            # the benchmark's model-path-down floor: everything from
+            # here on is answered by the popularity fallback
+            services[name].enter_fallback("benchmark")
+            check = services[name].recommend(0)
+            assert check.degraded, "degraded arm must flag its results"
+            live = check.ids[0][check.ids[0] >= 0]
+            assert 0 not in live and len(np.unique(live)) == len(live), (
+                "degraded arm must return a valid masked top-k"
+            )
 
     per_round = max(args.requests // args.rounds, 1)
     for round_idx in range(args.rounds):  # interleaved A/B/A/B
@@ -313,29 +401,40 @@ def latency_ab(args, model, traffic: Traffic, rng) -> dict:
         for name, service in services.items():
             walls[name] += replay_segment(
                 service, users[lo:hi], events[lo:hi], writes[lo:hi],
-                latencies[name], lo, args.concurrency,
+                latencies[name], lo, concurrency[name], counters[name],
             )
 
     summary = {}
     for name, service in services.items():
         lat = latencies[name]
+        answered = int(np.isfinite(lat).sum())
         stats = service.stats()
         service.close()
         summary[name] = {
-            "p50_ms": round(float(np.percentile(lat, 50)), 3),
-            "p99_ms": round(float(np.percentile(lat, 99)), 3),
-            "qps": round(args.requests / walls[name], 1) if walls[name] else 0.0,
+            "p50_ms": round(float(np.nanpercentile(lat, 50)), 3),
+            "p99_ms": round(float(np.nanpercentile(lat, 99)), 3),
+            "qps": round(answered / walls[name], 1) if walls[name] else 0.0,
+            "answered": answered,
+            "shed": counters[name]["shed"],
+            "deadline_expired": counters[name]["deadline_expired"],
+            "degraded_requests": counters[name]["degraded"],
+            "shed_rate": round(
+                (args.requests - answered) / args.requests, 4
+            ),
+            "concurrency": concurrency[name],
             "mean_batch_size": round(stats["mean_batch_size"], 2),
             "encodes": stats["encodes"],
             "user_vec_reuses": stats["user_vec_reuses"],
             "table_dtype": stats["table_dtype"],
             "table_mb": round(stats["table_nbytes"] / 1e6, 1),
         }
-        print(f"[{name:>11}] p50 {summary[name]['p50_ms']:8.2f} ms  "
+        print(f"[{name:>14}] p50 {summary[name]['p50_ms']:8.2f} ms  "
               f"p99 {summary[name]['p99_ms']:8.2f} ms  "
               f"{summary[name]['qps']:8.1f} QPS  "
               f"(mean batch {summary[name]['mean_batch_size']:.1f}, "
-              f"encodes {summary[name]['encodes']})")
+              f"encodes {summary[name]['encodes']}, "
+              f"shed {summary[name]['shed']}, "
+              f"degraded {summary[name]['degraded_requests']})")
     return summary
 
 
@@ -393,6 +492,7 @@ def main() -> int:
                     "step_ms": summary[name]["p50_ms"],
                     "p99_ms": summary[name]["p99_ms"],
                     "qps": summary[name]["qps"],
+                    "shed_rate": summary[name]["shed_rate"],
                     "dataset": "random-ids",
                     "num_items": args.num_items,
                     "max_len": args.max_len,

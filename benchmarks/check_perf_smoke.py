@@ -10,7 +10,12 @@ the dynamic engine, variant ``static_graph`` in the history).  Then a
 **serving smoke**: an
 inline Zipf replay through the fast online arm (float16 item table +
 blocked top-k, ``repro.serving``) whose p50/p99 are gated the same way
-under the ``serve_p50`` / ``serve_p99`` history variants.  The budgets are deliberately
+under the ``serve_p50`` / ``serve_p99`` history variants, and a
+**serving chaos cell**: concurrent traffic through a shed-policy
+service while the encode path crashes twice (deterministic injection
+via ``repro.utils.faults``), gating that the answered-request p99
+stays bounded, the popularity fallback returned valid masked top-k,
+and the service came back to the model path.  The budgets are deliberately
 loose (several times the expected duration on a loaded CI worker): the
 goal is to catch order-of-magnitude regressions — an accidentally
 quadratic path, a dropped cache, a float-pow in a hot loop, a silent
@@ -41,7 +46,8 @@ Environment overrides: ``PERF_SMOKE_TRAIN_BUDGET_S`` (default 15),
 ``PERF_SMOKE_EVAL_BUDGET_S`` (default 5), ``PERF_SMOKE_SERVE_BUDGET_MS``
 (default 250, the static serving-p99 ceiling),
 ``PERF_SMOKE_SERVE_SLACK_MS`` (default 2, absolute grace on the serving
-history gate), ``PERF_SMOKE_NO_RECORD``,
+history gate), ``PERF_SMOKE_CHAOS_BUDGET_MS`` (default 1500, the
+answered-p99 ceiling of the injected-fault cell), ``PERF_SMOKE_NO_RECORD``,
 ``PERF_SMOKE_NO_HISTORY``, ``PERF_SMOKE_HISTORY_FACTOR``.
 No pytest or pytest-benchmark dependency — plain stdlib + the repo
 itself.
@@ -301,6 +307,107 @@ def _measure_serving(dataset):
     }
 
 
+def _measure_serving_chaos(dataset):
+    """One injected-fault serving cell: shed policy under a dying encode.
+
+    Replays concurrent traffic through a deliberately small-queue,
+    shed-policy service while the first two encode passes crash
+    (``serve.encode``, ``on_error="degrade"``).  Returns the answered
+    requests' p99, the outcome tally, whether every degraded answer
+    honored the masked-top-k contract, and whether the service came
+    back to the model path once the fault passed — the smoke gate
+    asserts all of it.
+    """
+    import threading
+
+    import numpy as np
+
+    from repro.baselines import build_baseline
+    from repro.serving import (
+        DeadlineExceeded,
+        Overloaded,
+        RecommenderService,
+        ServingConfig,
+    )
+    from repro.utils.faults import FaultInjector, inject
+
+    model = build_baseline(
+        SERVING_GEOMETRY["model"], dataset,
+        hidden_dim=SERVING_GEOMETRY["hidden_dim"], seed=0, dtype="float32",
+    )
+    config = ServingConfig(
+        table_dtype=SERVING_GEOMETRY["table_dtype"],
+        topk=SERVING_GEOMETRY["topk"],
+        batching=True,
+        micro_batch=4,
+        max_wait_ms=2.0,
+        queue_capacity=8,
+        admission_policy="shed",
+        request_timeout_ms=1000.0,
+    )
+    injector = FaultInjector().crash_at("serve.encode", times=2)
+    latencies, counts = [], {"ok": 0, "degraded": 0, "shed": 0, "expired": 0}
+    valid = [True]
+    lock = threading.Lock()
+    with RecommenderService(model, config) as service:
+        for user_id, seq in enumerate(dataset.sequences[:64]):
+            service.observe_history(user_id, seq[-dataset.max_len:])
+
+        def worker(uid):
+            for _ in range(12):
+                start = time.perf_counter()
+                try:
+                    result = service.recommend(uid)
+                except Overloaded:
+                    with lock:
+                        counts["shed"] += 1
+                    continue
+                except DeadlineExceeded:
+                    with lock:
+                        counts["expired"] += 1
+                    continue
+                elapsed = (time.perf_counter() - start) * 1000.0
+                with lock:
+                    latencies.append(elapsed)
+                    if result.degraded:
+                        counts["degraded"] += 1
+                        live = result.ids[0][result.ids[0] >= 0]
+                        if 0 in live or len(np.unique(live)) != len(live):
+                            valid[0] = False
+                    else:
+                        counts["ok"] += 1
+
+        with inject(injector):
+            threads = [
+                threading.Thread(target=worker, args=(uid,), daemon=True)
+                for uid in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        recovered = False
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                recovered = not service.recommend(0).degraded
+                break
+            except (DeadlineExceeded, Overloaded):
+                continue
+    latencies.sort()
+    p99 = (
+        latencies[min(int(len(latencies) * 0.99), len(latencies) - 1)]
+        if latencies else float("inf")
+    )
+    return {
+        "p99_ms": p99,
+        "counts": counts,
+        "fired": len(injector.fired),
+        "degraded_valid": valid[0],
+        "recovered": recovered,
+    }
+
+
 def main() -> int:
     train_budget = float(os.environ.get("PERF_SMOKE_TRAIN_BUDGET_S", "15"))
     eval_budget = float(os.environ.get("PERF_SMOKE_EVAL_BUDGET_S", "5"))
@@ -490,6 +597,36 @@ def main() -> int:
             "step_ms": round(serving[stat + "_ms"], 3),
             **SERVING_GEOMETRY,
         })
+
+    # --- serving chaos cell: failure semantics must hold every pass ---
+    # Static-budget gate only (no history line): the p99 of *answered*
+    # requests under an injected encode crash + shed admission must stay
+    # bounded — a fault that turns into unbounded caller latency is a
+    # broken deadline path, not noise.
+    chaos_budget = float(os.environ.get("PERF_SMOKE_CHAOS_BUDGET_MS", "1500"))
+    chaos = _measure_serving_chaos(dataset)
+    print(f"[serving-chaos] shed policy under injected encode crash: "
+          f"answered p99 {chaos['p99_ms']:.2f} ms "
+          f"(budget {chaos_budget:.0f} ms), outcomes {chaos['counts']}, "
+          f"faults fired {chaos['fired']}, "
+          f"recovered {'yes' if chaos['recovered'] else 'NO'}")
+    if chaos["p99_ms"] > chaos_budget:
+        print(f"FAIL: chaos-cell p99 {chaos['p99_ms']:.1f} ms exceeds "
+              f"{chaos_budget:.0f} ms — a fault is turning into unbounded "
+              f"latency", file=sys.stderr)
+        ok = False
+    if chaos["counts"]["degraded"] == 0:
+        print("FAIL: chaos cell produced no degraded answers — the injected "
+              "fault never exercised the fallback arm", file=sys.stderr)
+        ok = False
+    if not chaos["degraded_valid"]:
+        print("FAIL: a degraded answer violated the masked top-k contract",
+              file=sys.stderr)
+        ok = False
+    if not chaos["recovered"]:
+        print("FAIL: service did not return to the model path after the "
+              "injected fault passed", file=sys.stderr)
+        ok = False
 
     if not ok:
         # A failing run must not write its regressed step times into the

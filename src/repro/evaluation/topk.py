@@ -44,10 +44,16 @@ class TopKResult(NamedTuple):
     ``ids`` is ``(B, k')`` int64, ``scores`` the matching score values in
     the scoring dtype; ``k' = min(k, candidate_count)``.  Excluded /
     inadmissible tail slots hold id ``-1`` and score ``-inf``.
+
+    ``degraded`` is ``False`` for every model-path ranking; the serving
+    fallback ranker (:mod:`repro.serving.fallback`) sets it ``True`` so
+    callers can tell a popularity answer from a personalized one.  The
+    masking contract is identical either way.
     """
 
     ids: np.ndarray
     scores: np.ndarray
+    degraded: bool = False
 
 
 def _mask_block(

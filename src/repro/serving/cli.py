@@ -33,7 +33,12 @@ import numpy as np
 
 from repro.baselines import BASELINE_NAMES, build_baseline
 from repro.data.synthetic import PRESETS, load_preset
-from repro.serving.service import RecommenderService, ServingConfig
+from repro.serving.service import (
+    DeadlineExceeded,
+    Overloaded,
+    RecommenderService,
+    ServingConfig,
+)
 from repro.utils.io import load_checkpoint
 
 __all__ = ["main", "build_parser"]
@@ -82,6 +87,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-seen", action="store_true",
         help="do not mask the user's own window items from results",
     )
+    # resilience knobs (all off by default, like ServingConfig)
+    parser.add_argument(
+        "--request-timeout-ms", type=float, default=None,
+        help="end-to-end per-request deadline in ms (default: no deadline)",
+    )
+    parser.add_argument(
+        "--queue-timeout-ms", type=float, default=None,
+        help="max queue residency in ms before DeadlineExceeded "
+        "(default: only the request deadline bounds it)",
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="bound on queued requests (default unbounded); admission "
+        "control kicks in when full",
+    )
+    parser.add_argument(
+        "--admission-policy", choices=("block", "shed", "degrade"),
+        default="block",
+        help="full-queue behavior: block (wait), shed (raise Overloaded) "
+        "or degrade (popularity fallback)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("degrade", "raise"), default="degrade",
+        help="model-path exception behavior: degrade (popularity "
+        "fallback, default) or raise to the caller",
+    )
+    parser.add_argument(
+        "--degrade-on-stale", action="store_true",
+        help="serve degraded and refresh the item table in the "
+        "background instead of rebuilding it on the request path",
+    )
     # workload
     parser.add_argument(
         "--history", metavar="IDS",
@@ -109,6 +145,12 @@ def _build_service(args, model) -> RecommenderService:
         batching=not args.no_batching,
         cache_capacity=args.cache_capacity,
         exclude_seen=not args.include_seen,
+        request_timeout_ms=args.request_timeout_ms,
+        queue_timeout_ms=args.queue_timeout_ms,
+        queue_capacity=args.queue_capacity,
+        admission_policy=args.admission_policy,
+        on_error=args.on_error,
+        degrade_on_stale=args.degrade_on_stale,
     )
     return RecommenderService(model, config)
 
@@ -131,6 +173,9 @@ def _replay(args, service: RecommenderService, dataset, out) -> dict:
     events = rng.integers(1, dataset.num_items + 1, size=args.requests)
 
     latencies = np.zeros(args.requests)
+    shed = [0]
+    expired = [0]
+    degraded = [0]
     cursor = [0]
     cursor_lock = threading.Lock()
 
@@ -143,8 +188,22 @@ def _replay(args, service: RecommenderService, dataset, out) -> dict:
                 cursor[0] += 1
             service.observe(int(users[i]), int(events[i]))
             start = time.perf_counter()
-            service.recommend(int(users[i]))
+            try:
+                result = service.recommend(int(users[i]))
+            except Overloaded:
+                latencies[i] = np.nan
+                with cursor_lock:
+                    shed[0] += 1
+                continue
+            except DeadlineExceeded:
+                latencies[i] = np.nan
+                with cursor_lock:
+                    expired[0] += 1
+                continue
             latencies[i] = (time.perf_counter() - start) * 1000.0
+            if result.degraded:
+                with cursor_lock:
+                    degraded[0] += 1
 
     start = time.perf_counter()
     threads = [
@@ -157,12 +216,16 @@ def _replay(args, service: RecommenderService, dataset, out) -> dict:
         t.join()
     wall = time.perf_counter() - start
 
+    answered = int(np.isfinite(latencies).sum())
     summary = {
         "requests": args.requests,
         "concurrency": args.concurrency,
-        "p50_ms": float(np.percentile(latencies, 50)),
-        "p99_ms": float(np.percentile(latencies, 99)),
-        "qps": args.requests / wall if wall else 0.0,
+        "p50_ms": float(np.nanpercentile(latencies, 50)) if answered else float("nan"),
+        "p99_ms": float(np.nanpercentile(latencies, 99)) if answered else float("nan"),
+        "qps": answered / wall if wall else 0.0,
+        "shed": shed[0],
+        "deadline_expired": expired[0],
+        "degraded": degraded[0],
     }
     print(
         f"replay: {summary['requests']} requests, concurrency "
@@ -174,6 +237,12 @@ def _replay(args, service: RecommenderService, dataset, out) -> dict:
         f"throughput {summary['qps']:.0f} QPS",
         file=out,
     )
+    if summary["shed"] or summary["deadline_expired"] or summary["degraded"]:
+        print(
+            f"shed {summary['shed']}  deadline expired "
+            f"{summary['deadline_expired']}  degraded {summary['degraded']}",
+            file=out,
+        )
     stats = service.stats()
     print(
         f"batches {stats['batches']} (mean size {stats['mean_batch_size']:.1f})  "

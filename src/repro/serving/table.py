@@ -106,6 +106,23 @@ class ItemTable:
         self.version = model.inference_version()
         self.refreshes += 1
 
+    def rebuilt(self, model) -> "ItemTable":
+        """A fresh snapshot as a **new** table (double-buffered refresh).
+
+        :meth:`refresh` mutates this table in place, which is fine when
+        the caller owns the serving lock for the duration — but a full
+        re-snapshot of a 10^6-item catalog is exactly the work the
+        serving lock must *not* be held across.  ``rebuilt`` builds a
+        complete replacement off to the side (same dtype/blocking
+        config, cumulative ``refreshes`` counter carried forward) so
+        the owner can do the expensive build lock-free and swap the
+        reference in O(1) under the lock.  The old table stays fully
+        serviceable until the swap — a failed build leaves it live.
+        """
+        new = ItemTable(model, dtype=self.dtype_name, block_size=self.block_size)
+        new.refreshes += self.refreshes
+        return new
+
     def is_stale(self, model) -> bool:
         """Whether parameters changed since this snapshot was taken."""
         return model.inference_version() != self.version

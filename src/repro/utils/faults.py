@@ -18,18 +18,38 @@ of them:
   update but *before* rotation pruning;
 - ``checkpoint.end`` — after rotation completes.
 
+The serving runtime (:mod:`repro.serving`) embeds its own trip points
+in the online request path, so its chaos tests kill/delay the exact
+code a production incident would hit:
+
+- ``serve.encode`` — before the stacked ``encode_users`` walk of a
+  micro-batch (the model forward);
+- ``serve.score`` — before the blocked scoring/top-k pass of a batch;
+- ``serve.collect`` — in the collector thread, after a batch is
+  drained from the queue but before it is served (an exception here is
+  the "collector thread dies" scenario);
+- ``serve.refresh`` — before an item-table re-snapshot (both the
+  in-batch auto-refresh and the double-buffered ``refresh_table``).
+
 Production code calls :func:`trip` unconditionally; with no injector
 installed it is a few-nanosecond no-op, so the hooks stay in the real
 code paths rather than in test-only shims — what the tests kill is the
 exact code a production crash would interrupt.
 
-Two fault actions are supported.  A **crash** raises
+Three fault actions are supported.  A **crash** raises
 :class:`InjectedCrash`, which derives from ``BaseException`` so no
 ``except Exception`` recovery path in the runtime can accidentally
 swallow the "process died here" signal.  An **I/O error** raises
 :class:`InjectedIOError` (an ``OSError``), which exercises the
 runtime's real error handling — e.g. a failed write must leave the
-previous checkpoints intact.
+previous checkpoints intact.  A **delay** (:meth:`FaultInjector.delay_at`)
+sleeps at the trip point instead of raising — the latency-injection
+arm of the serving chaos harness: a stalled encode must surface as
+deadline timeouts and shed load, never as unbounded caller waits.
+
+Trip points may be hit from several serving threads concurrently, so
+the injector's matching/bookkeeping is lock-protected; a delay sleeps
+*outside* the lock so it stalls only the tripping thread.
 
 Typical test::
 
@@ -43,6 +63,8 @@ Typical test::
 from __future__ import annotations
 
 import contextlib
+import threading
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -79,51 +101,85 @@ class InjectedIOError(OSError):
 class _FaultSpec:
     point: str
     at: Optional[int]
-    action: str  # "crash" | "io_error"
+    action: str  # "crash" | "io_error" | "delay"
     remaining: int = 1
+    seconds: float = 0.0
 
 
 @dataclass
 class FaultInjector:
     """A schedule of deterministic faults, matched at trip points.
 
-    Each scheduled fault fires at most once (so a test can resume past
-    the fault it injected without re-arming it).  ``at`` matches the
-    index the runtime passes to :func:`trip` — the global step for
-    ``trainer.step``, the epoch for ``trainer.epoch``, the checkpoint
-    step for ``checkpoint.*`` points; ``at=None`` fires on the first
-    trip of that point.  ``counts`` and ``fired`` record what actually
-    happened, for assertions.
+    Each scheduled fault fires ``times`` times (default once, so a test
+    can resume past the fault it injected without re-arming it).  ``at``
+    matches the index the runtime passes to :func:`trip` — the global
+    step for ``trainer.step``, the epoch for ``trainer.epoch``, the
+    checkpoint step for ``checkpoint.*`` points; ``at=None`` fires on
+    the first ``times`` trips of that point.  ``counts`` and ``fired``
+    record what actually happened, for assertions.  Matching and
+    bookkeeping are lock-protected (serving trips arrive from several
+    threads); a delay sleeps outside the lock.
     """
 
     _specs: List[_FaultSpec] = field(default_factory=list)
     counts: Counter = field(default_factory=Counter)
     fired: List[Tuple[str, int]] = field(default_factory=list)
+    _mutex: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def crash_at(self, point: str, at: Optional[int] = None) -> "FaultInjector":
+    def crash_at(
+        self, point: str, at: Optional[int] = None, times: int = 1
+    ) -> "FaultInjector":
         """Schedule an :class:`InjectedCrash` at ``point`` (chainable)."""
-        self._specs.append(_FaultSpec(point, at, "crash"))
+        self._specs.append(_FaultSpec(point, at, "crash", remaining=times))
         return self
 
-    def io_error_at(self, point: str, at: Optional[int] = None) -> "FaultInjector":
+    def io_error_at(
+        self, point: str, at: Optional[int] = None, times: int = 1
+    ) -> "FaultInjector":
         """Schedule an :class:`InjectedIOError` at ``point`` (chainable)."""
-        self._specs.append(_FaultSpec(point, at, "io_error"))
+        self._specs.append(_FaultSpec(point, at, "io_error", remaining=times))
+        return self
+
+    def delay_at(
+        self, point: str, seconds: float, at: Optional[int] = None, times: int = 1
+    ) -> "FaultInjector":
+        """Schedule a ``seconds``-long stall at ``point`` (chainable).
+
+        Unlike the raising actions, a delay lets execution continue —
+        it models a slow disk, a GC pause or a contended core, the
+        latency half of the serving chaos matrix.
+        """
+        if seconds < 0:
+            raise ValueError(f"delay seconds must be >= 0, got {seconds}")
+        self._specs.append(
+            _FaultSpec(point, at, "delay", remaining=times, seconds=float(seconds))
+        )
         return self
 
     def trip(self, point: str, index: Optional[int] = None) -> None:
-        """Record a trip and raise if a scheduled fault matches it."""
-        self.counts[point] += 1
-        effective = self.counts[point] - 1 if index is None else int(index)
-        for spec in self._specs:
-            if spec.point != point or spec.remaining <= 0:
-                continue
-            if spec.at is not None and spec.at != effective:
-                continue
-            spec.remaining -= 1
-            self.fired.append((point, effective))
-            if spec.action == "crash":
-                raise InjectedCrash(point, effective)
+        """Record a trip and act if a scheduled fault matches it."""
+        matched: Optional[_FaultSpec] = None
+        with self._mutex:
+            self.counts[point] += 1
+            effective = self.counts[point] - 1 if index is None else int(index)
+            for spec in self._specs:
+                if spec.point != point or spec.remaining <= 0:
+                    continue
+                if spec.at is not None and spec.at != effective:
+                    continue
+                spec.remaining -= 1
+                self.fired.append((point, effective))
+                matched = spec
+                break
+        if matched is None:
+            return
+        if matched.action == "crash":
+            raise InjectedCrash(point, effective)
+        if matched.action == "io_error":
             raise InjectedIOError(f"injected I/O error at {point}[{effective}]")
+        time.sleep(matched.seconds)
 
 
 #: The installed injector; ``None`` (the default) makes every
