@@ -5,7 +5,16 @@ The environment has no ``wheel`` package and no network access, so PEP
 fallback below) installs the package in editable mode instead.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
 if __name__ == "__main__":
-    setup()
+    setup(
+        name="repro",
+        packages=find_packages("src"),
+        package_dir={"": "src"},
+        entry_points={
+            "console_scripts": [
+                "repro-lint=repro.analysis.lint.cli:main",
+            ],
+        },
+    )

@@ -5,8 +5,15 @@ sequences into frequency components, measure spectral energy per band,
 and quantify how much of a dataset's behaviour is periodic — useful
 both for understanding why frequency-domain recommenders win on a
 given dataset and for validating synthetic workloads.
+
+The subpackage :mod:`repro.analysis.lint` points the same analytical
+eye at the codebase itself: ``repro-lint`` is an AST-based checker for
+the repo's hand-maintained invariants (replay coverage, dtype
+stability, grad-buffer ownership, serving lock discipline, trip-point
+hygiene, export drift) — see ``docs/STATIC_ANALYSIS.md``.
 """
 
+from repro.analysis.lint import Finding, LintReport, run_lint
 from repro.analysis.spectrum import (
     sequence_spectrum,
     band_energy,
@@ -19,4 +26,7 @@ __all__ = [
     "band_energy",
     "dataset_spectral_profile",
     "periodicity_score",
+    "Finding",
+    "LintReport",
+    "run_lint",
 ]

@@ -1,0 +1,46 @@
+"""repro-lint: an AST-based checker for this repo's invariant families.
+
+Every rule encodes a convention that was violated in shipped code at
+least once before a human audit or a pinned test caught it — grad
+buffer ownership (PR 8), replay-closure capture safety (PR 8), dtype
+stability (PR 2), serving lock discipline (PR 9), fault trip-point
+hygiene (PR 6/9), and export-surface drift.  See
+``docs/STATIC_ANALYSIS.md`` for the catalogue and
+:mod:`repro.analysis.lint.cli` for the command-line entry point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.baseline import (
+    BaselineEntry,
+    BaselineError,
+    load_baseline,
+    render_baseline,
+)
+from repro.analysis.lint.engine import (
+    Finding,
+    LintReport,
+    Project,
+    Rule,
+    SourceFile,
+    all_rules,
+    format_finding,
+    format_findings,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "format_finding",
+    "format_findings",
+    "run_lint",
+    "BaselineEntry",
+    "BaselineError",
+    "load_baseline",
+    "render_baseline",
+]

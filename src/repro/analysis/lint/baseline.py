@@ -1,0 +1,109 @@
+"""Justification-annotated finding baselines for repro-lint.
+
+A baseline is the committed list of findings the team has looked at
+and accepted, each with a one-line justification.  The file format is
+line-oriented and diff-friendly — one finding per line, sorted, keyed
+by the finding's content fingerprint rather than its line number, so
+unrelated edits to the same file never churn the baseline::
+
+    # repro-lint baseline.  One accepted finding per line:
+    # <fingerprint> <rule> <path> <scope> -- <justification>
+    3f9ab2c1d0 R4 src/repro/serving/service.py RecommenderService.stats._sheds -- stats() is a diagnostic snapshot; torn reads acceptable
+
+Lines starting with ``#`` and blank lines are ignored.  The
+justification after `` -- `` is mandatory: a baseline entry without a
+reason is itself a lint error (the whole point is that every accepted
+violation carries its excuse in-repo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.lint.engine import Finding
+
+__all__ = ["BaselineEntry", "BaselineError", "load_baseline", "render_baseline"]
+
+_SEP = " -- "
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file (missing fields or justification)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    scope: str
+    justification: str
+
+
+def load_baseline(path: Optional[Path]) -> Dict[str, BaselineEntry]:
+    """Parse a baseline file into ``{fingerprint: entry}``.
+
+    A missing file is an empty baseline (so fresh checkouts and new
+    projects lint without ceremony); a malformed line raises
+    :class:`BaselineError` naming the offending line.
+    """
+    if path is None or not Path(path).is_file():
+        return {}
+    entries: Dict[str, BaselineEntry] = {}
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if _SEP not in stripped:
+            raise BaselineError(
+                f"{path}:{lineno}: baseline entry has no ' -- justification'"
+            )
+        head, justification = stripped.split(_SEP, 1)
+        justification = justification.strip()
+        if not justification:
+            raise BaselineError(
+                f"{path}:{lineno}: baseline justification is empty"
+            )
+        fields = head.split()
+        if len(fields) < 3:
+            raise BaselineError(
+                f"{path}:{lineno}: expected '<fingerprint> <rule> <path> "
+                f"[scope] -- <justification>'"
+            )
+        fingerprint, rule, rel = fields[0], fields[1], fields[2]
+        scope = " ".join(fields[3:])
+        entries[fingerprint] = BaselineEntry(
+            fingerprint, rule, rel, scope, justification
+        )
+    return entries
+
+
+def render_baseline(
+    findings: Iterable[Finding], justifications: Optional[Dict[str, str]] = None
+) -> str:
+    """Render findings as baseline text (one entry per fingerprint).
+
+    Fresh entries get a ``TODO: justify`` placeholder the author must
+    replace before committing — :func:`load_baseline` accepts it as
+    text, but review should not.
+    """
+    justifications = justifications or {}
+    seen = set()
+    lines = [
+        "# repro-lint baseline.  One accepted finding per line:",
+        "# <fingerprint> <rule> <path> <scope> -- <justification>",
+    ]
+    for f in sorted(
+        findings, key=lambda f: (f.path, f.rule, f.scope, f.message)
+    ):
+        if f.fingerprint in seen:
+            continue
+        seen.add(f.fingerprint)
+        reason = justifications.get(f.fingerprint, "TODO: justify")
+        scope = f" {f.scope}" if f.scope else ""
+        lines.append(f"{f.fingerprint} {f.rule} {f.path}{scope} -- {reason}")
+    return "\n".join(lines) + "\n"

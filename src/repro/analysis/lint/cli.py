@@ -1,0 +1,225 @@
+"""``repro-lint`` — run the invariant checker from the command line.
+
+Usage::
+
+    repro-lint                        # lint src/repro against the baseline
+    repro-lint src/repro/serving      # lint a subtree (full project context)
+    repro-lint --changed-only         # only report findings in files git
+                                      # says changed (fast local loop)
+    repro-lint --write-baseline       # accept current findings (existing
+                                      # justifications are preserved;
+                                      # new entries get a TODO to fill in)
+    repro-lint --rules R4,R5          # subset of rules
+    repro-lint --list-rules
+
+Exit status: 0 clean, 1 non-baselined findings, 2 usage/config error.
+Output is stable (sorted by path, line, rule) so two runs diff cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Set
+
+from repro.analysis.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    render_baseline,
+)
+from repro.analysis.lint.engine import (
+    all_rules,
+    format_finding,
+    run_lint,
+)
+
+__all__ = ["main"]
+
+
+def _changed_files(root: Path) -> Optional[Set[str]]:
+    """Root-relative paths git considers changed (staged, unstaged, or
+    untracked); ``None`` if git is unavailable."""
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {
+        line.strip()
+        for line in (diff.stdout + untracked.stdout).splitlines()
+        if line.strip()
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: <root>/src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root (default: inferred from the first path)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: <root>/lint_baseline.txt)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only in files git sees as changed",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule subset, e.g. R1,R4",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in sorted(rules.values(), key=lambda r: r.name):
+            print(f"{rule.name}  {rule.slug + '-ok':14s} {rule.title}")
+        return 0
+
+    selected = None
+    if args.rules:
+        selected = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in selected if r not in rules]
+        if unknown:
+            print(
+                f"repro-lint: unknown rule(s): {', '.join(unknown)} "
+                f"(have {', '.join(rules)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        probe = args.root or Path.cwd()
+        default = probe / "src" / "repro"
+        if not default.is_dir():
+            print(
+                f"repro-lint: no paths given and {default} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [default]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro-lint: no such path: "
+            f"{', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    root = args.root
+    if root is None:
+        from repro.analysis.lint.engine import _infer_root
+
+        root = _infer_root(paths[0].resolve())
+    root = Path(root).resolve()
+    baseline = None
+    if not args.no_baseline:
+        baseline = args.baseline or (root / "lint_baseline.txt")
+
+    changed: Optional[Set[str]] = None
+    if args.changed_only:
+        changed = _changed_files(root)
+        if changed is None:
+            print(
+                "repro-lint: --changed-only needs git; linting everything",
+                file=sys.stderr,
+            )
+
+    try:
+        report = run_lint(
+            paths,
+            root=root,
+            baseline=baseline,
+            rules=selected,
+            changed_only=changed,
+        )
+    except BaselineError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = baseline or (root / "lint_baseline.txt")
+        existing = load_baseline(target) if target.is_file() else {}
+        justifications = {
+            fp: e.justification
+            for fp, e in existing.items()
+            if e.justification != "TODO: justify"
+        }
+        target.write_text(
+            render_baseline(
+                report.findings + report.baselined, justifications
+            ),
+            encoding="utf-8",
+        )
+        print(
+            f"repro-lint: wrote {target} "
+            f"({len({f.fingerprint for f in report.findings + report.baselined})} "
+            f"entries)"
+        )
+        return 0
+
+    for f in report.findings:
+        print(format_finding(f))
+    for fp in report.stale_baseline:
+        print(
+            f"repro-lint: warning: baseline entry {fp} no longer matches "
+            f"any finding — remove it (or run --write-baseline)",
+            file=sys.stderr,
+        )
+    mode = " (changed files only)" if changed is not None else ""
+    print(
+        f"repro-lint: {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, {report.suppressed} "
+        f"pragma-suppressed; {report.files_analyzed} files in "
+        f"{report.duration:.2f}s{mode}"
+    )
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,356 @@
+"""Core of the repro-lint rule engine: files, findings, pragmas, registry.
+
+The linter is a repo-specific static-analysis pass: it parses
+``src/repro/**`` with :mod:`ast` and enforces the hand-maintained
+invariant families that were each violated in shipped code at least
+once before being caught by a human audit (see
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the incident
+each rule encodes).  This module owns everything rule-agnostic:
+
+- :class:`SourceFile` — one parsed file plus its ``# lint: <slug>-ok(...)``
+  pragma map (line pragmas silence that line; a pragma on a ``def``
+  line silences the whole function span);
+- :class:`Project` — the loaded file set.  *Target* files are the ones
+  the user asked to lint; *context* files (the project's ``tests/``
+  and ``benchmarks/`` trees) are loaded so project-wide rules such as
+  trip-point hygiene and import resolution can see both sides;
+- :class:`Finding` — one violation, with a **line-number-independent
+  fingerprint** (rule + path + scope + detail) so baselines survive
+  unrelated edits to the same file;
+- the rule registry and :func:`run_lint`, the single entry point used
+  by the CLI and by ``tests/test_lint_clean.py``.
+
+Output is deliberately stable and diff-friendly: findings sort by
+(path, line, rule, message) and render one per line.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "Project",
+    "Rule",
+    "LintReport",
+    "register_rule",
+    "all_rules",
+    "run_lint",
+    "format_finding",
+    "format_findings",
+    "call_name",
+]
+
+#: ``# lint: replay-ok(reason)`` — one or more per line, reason required
+#: to be non-empty only by convention (the reason is for the reader).
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*([a-z][a-z0-9-]*)-ok\(([^)]*)\)")
+
+#: Directories never descended into when scanning a project tree.  The
+#: analyzer's own test corpus lives under ``tests/lint_fixtures/`` and
+#: contains deliberate violations; it must not leak into a real-repo
+#: run (fixture roots themselves are passed explicitly by the tests).
+_SKIP_DIRS = {"__pycache__", "lint_fixtures", ".git", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``detail`` is the stable identity used for the fingerprint — rules
+    set it to a content key (e.g. ``Class.method.attr``) so the
+    fingerprint survives line-number churn; when ``None`` the message
+    itself is used.
+    """
+
+    rule: str  # "R1".."R6"
+    slug: str  # pragma slug: replay | dtype | grad | unlocked | trip | export
+    path: str  # project-root-relative posix path
+    line: int
+    scope: str  # dotted qualname of the enclosing scope ("" = module)
+    message: str
+    detail: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        key = f"{self.rule}|{self.path}|{self.scope}|{self.detail or self.message}"
+        return hashlib.sha1(key.encode("utf-8")).hexdigest()[:10]
+
+
+def format_finding(f: Finding) -> str:
+    where = f" {f.scope}:" if f.scope else ""
+    return f"{f.path}:{f.line}: {f.rule} [{f.fingerprint}]{where} {f.message}"
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    return "\n".join(format_finding(f) for f in findings)
+
+
+class SourceFile:
+    """A parsed source file plus its pragma map and test-side flag."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.tree = ast.parse(text, filename=rel)
+        parts = Path(rel).parts
+        self.is_test = (
+            "tests" in parts
+            or "benchmarks" in parts
+            or Path(rel).name.startswith("test_")
+        )
+        self.line_pragmas: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "lint:" not in line:
+                continue
+            slugs = {m.group(1) for m in _PRAGMA_RE.finditer(line)}
+            if slugs:
+                self.line_pragmas[lineno] = slugs
+        # A pragma on a `def` (or `class`) line silences its whole span.
+        self.span_pragmas: List[Tuple[int, int, Set[str]]] = []
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                slugs = self.line_pragmas.get(node.lineno)
+                if slugs:
+                    self.span_pragmas.append(
+                        (node.lineno, node.end_lineno or node.lineno, slugs)
+                    )
+
+    def suppressed(self, slug: str, line: int) -> bool:
+        if slug in self.line_pragmas.get(line, ()):
+            return True
+        for start, end, slugs in self.span_pragmas:
+            if start <= line <= end and slug in slugs:
+                return True
+        return False
+
+    @property
+    def module(self) -> Optional[str]:
+        """Dotted module name (``src/`` prefix stripped), if derivable."""
+        parts = list(Path(self.rel).parts)
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if not parts or not parts[-1].endswith(".py"):
+            return None
+        parts[-1] = parts[-1][: -len(".py")]
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) if parts else None
+
+
+class Project:
+    """The analyzed file set: explicit targets plus project context."""
+
+    def __init__(self, root: Path, files: List[SourceFile], targets: Set[str]):
+        self.root = root
+        self.files = files
+        self.targets = targets
+        self.by_rel: Dict[str, SourceFile] = {f.rel: f for f in files}
+        self.by_module: Dict[str, SourceFile] = {}
+        for f in files:
+            if f.is_test:
+                continue
+            mod = f.module
+            if mod:
+                self.by_module.setdefault(mod, f)
+
+    @property
+    def target_files(self) -> List[SourceFile]:
+        return [f for f in self.files if f.rel in self.targets]
+
+    @classmethod
+    def load(cls, paths: Sequence[Path], root: Optional[Path] = None) -> "Project":
+        paths = [Path(p).resolve() for p in paths]
+        if root is None:
+            root = _infer_root(paths[0] if paths else Path.cwd())
+        root = Path(root).resolve()
+        target_paths = _collect(paths, root)
+        context_paths: List[Path] = []
+        for extra in ("tests", "benchmarks"):
+            d = root / extra
+            if d.is_dir():
+                context_paths.extend(_collect([d], root))
+        files: List[SourceFile] = []
+        seen: Set[Path] = set()
+        targets: Set[str] = set()
+        for p, is_target in [(p, True) for p in target_paths] + [
+            (p, False) for p in context_paths
+        ]:
+            if p in seen:
+                if is_target:
+                    targets.add(_rel(p, root))
+                continue
+            seen.add(p)
+            try:
+                text = p.read_text(encoding="utf-8")
+                sf = SourceFile(p, _rel(p, root), text)
+            except (OSError, SyntaxError, UnicodeDecodeError):
+                continue  # unparseable context never blocks a lint run
+            files.append(sf)
+            if is_target:
+                targets.add(sf.rel)
+        return cls(root, files, targets)
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _infer_root(start: Path) -> Path:
+    cur = start if start.is_dir() else start.parent
+    for candidate in [cur, *cur.parents]:
+        if (candidate / ".git").exists() or (candidate / "setup.py").exists():
+            return candidate
+    return cur
+
+
+def _collect(paths: Sequence[Path], root: Path) -> List[Path]:
+    # Fixture trees live under a `lint_fixtures` dir; skip them when
+    # scanning a real project, but honour them when the root itself is
+    # inside one (the analyzer's own tests point at fixture roots).
+    inside_fixture = "lint_fixtures" in root.parts
+    out: List[Path] = []
+    for p in paths:
+        if p.is_file() and p.suffix == ".py":
+            out.append(p)
+        elif p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                rel_parts = sub.relative_to(p).parts
+                skip = _SKIP_DIRS if not inside_fixture else _SKIP_DIRS - {
+                    "lint_fixtures"
+                }
+                if any(part in skip for part in rel_parts[:-1]):
+                    continue
+                out.append(sub)
+    return out
+
+
+def call_name(node: ast.AST) -> str:
+    """Dotted name of a call target: ``np.zeros``, ``self._make``, ``trip``."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif parts:
+        parts.append("?")  # call on a non-name expression, e.g. f().g
+    return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str  # "R1".."R6"
+    slug: str
+    title: str
+    check: Callable[[Project], List[Finding]]
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(name: str, slug: str, title: str):
+    def deco(fn: Callable[[Project], List[Finding]]):
+        _RULES[name] = Rule(name, slug, title, fn)
+        return fn
+
+    return deco
+
+
+def all_rules() -> Dict[str, Rule]:
+    _ensure_rules_loaded()
+    return dict(_RULES)
+
+
+def _ensure_rules_loaded() -> None:
+    # Rule modules self-register on import; import them lazily so the
+    # engine has no import-order dependency on them.
+    from repro.analysis.lint import (  # noqa: F401
+        rules_dtype,
+        rules_grad,
+        rules_locks,
+        rules_project,
+        rules_replay,
+    )
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, split by how each finding was handled."""
+
+    findings: List[Finding] = field(default_factory=list)  # actionable
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0  # silenced by pragmas
+    stale_baseline: List[str] = field(default_factory=list)  # dead fingerprints
+    files_analyzed: int = 0
+    duration: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_lint(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    baseline: Optional[Path] = None,
+    rules: Optional[Sequence[str]] = None,
+    changed_only: Optional[Set[str]] = None,
+) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport`.
+
+    ``baseline`` points at a justification-annotated baseline file (see
+    :mod:`repro.analysis.lint.baseline`); matched findings move to
+    ``report.baselined``.  ``changed_only`` restricts *reported*
+    findings to the given root-relative paths — the whole project is
+    still parsed so cross-file rules keep full context.
+    """
+    from repro.analysis.lint.baseline import load_baseline
+
+    t0 = time.perf_counter()
+    _ensure_rules_loaded()
+    project = Project.load(paths, root=root)
+    selected = (
+        [_RULES[r] for r in rules] if rules is not None else list(_RULES.values())
+    )
+    report = LintReport(files_analyzed=len(project.target_files))
+    raw: List[Finding] = []
+    for rule in selected:
+        raw.extend(rule.check(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    entries = load_baseline(baseline) if baseline else {}
+    seen_fps: Set[str] = set()
+    for f in raw:
+        sf = project.by_rel.get(f.path)
+        if sf is not None and sf.suppressed(f.slug, f.line):
+            report.suppressed += 1
+            continue
+        if f.fingerprint in entries:
+            seen_fps.add(f.fingerprint)
+            report.baselined.append(f)
+            continue
+        if changed_only is not None and f.path not in changed_only:
+            continue
+        report.findings.append(f)
+    # A partial (changed-only) run has not seen every finding, so it
+    # cannot judge baseline staleness.
+    report.stale_baseline = (
+        sorted(set(entries) - seen_fps) if changed_only is None else []
+    )
+    report.duration = time.perf_counter() - t0
+    return report

@@ -1,0 +1,266 @@
+"""R2 — dtype-stability: the float64-promotion class PR 2 audited away.
+
+The engine's dtype contract (``docs/ARCHITECTURE.md``) is that an op's
+output dtype is a pure function of its input dtypes.  PR 2's manual
+audit found three silent float64 promotions, all with the same three
+shapes, which this rule machine-checks inside dtype-sensitive modules
+(modules defining ``Module``-descendant classes or op-style nested
+``forward``/``backward`` closures):
+
+- a ``forward``/``backward`` closure returning a bare full reduction
+  (``x.sum()``, ``np.mean(x)``, ``a @ b``): a 0-d result decays to a
+  numpy *scalar*, and scalars re-promote float32 operands downstream.
+  The fix is re-wrapping with ``np.asarray(...)`` at the return.
+- ``np.prod(...)`` used without an immediate ``int(...)`` wrapper: it
+  returns ``np.int64``, and ``grad / np.int64`` promotes float32
+  gradients to float64 (the PR 2 ``mean`` incident).
+- dtype-less allocations — ``np.zeros/ones/empty/full`` without a
+  ``dtype=`` keyword, or ``np.array``/``np.asarray`` over a Python
+  literal container — which default to float64 and leak it into
+  whatever they touch.
+
+Pragma: ``# lint: dtype-ok(reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.lint.engine import (
+    Finding,
+    Project,
+    SourceFile,
+    call_name,
+    register_rule,
+)
+
+__all__ = ["check_dtype"]
+
+_REDUCTIONS = {"sum", "mean", "max", "min", "prod", "var", "std"}
+_ALLOC_NO_DTYPE = {"zeros", "ones", "empty", "full"}
+_WRAPPERS = {"np.asarray", "np.array", "numpy.asarray", "numpy.array"}
+
+
+def _module_descendants(project: Project) -> Set[str]:
+    """Class names whose base-name chain reaches the literal ``Module``."""
+    bases: Dict[str, List[str]] = {}
+    for sf in project.files:
+        if sf.is_test:
+            continue
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ClassDef):
+                names = []
+                for b in node.bases:
+                    if isinstance(b, ast.Name):
+                        names.append(b.id)
+                    elif isinstance(b, ast.Attribute):
+                        names.append(b.attr)
+                bases.setdefault(node.name, []).extend(names)
+    descendants: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name in descendants:
+                continue
+            if any(p == "Module" or p in descendants for p in parents):
+                descendants.add(name)
+                changed = True
+    return descendants
+
+
+def _has_op_closures(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            for child in ast.walk(node):
+                if (
+                    child is not node
+                    and isinstance(child, ast.FunctionDef)
+                    and child.name in ("forward", "backward")
+                ):
+                    return True
+    return False
+
+
+def _np_name(dotted: str, leaf_set: Set[str]) -> Optional[str]:
+    """The leaf if ``dotted`` is ``np.<leaf>``/``numpy.<leaf>`` for a known leaf."""
+    parts = dotted.split(".")
+    if len(parts) == 2 and parts[0] in ("np", "numpy") and parts[1] in leaf_set:
+        return parts[1]
+    return None
+
+
+def _keeps_dims(call: ast.Call) -> bool:
+    """True when a reduction provably returns an ndarray: a constant
+    non-None ``axis`` (full reductions only happen with axis absent,
+    ``axis=None``, or a runtime axis value) or ``keepdims=True``."""
+    axis = None
+    # np.sum(x, 0) carries the axis as arg 1; x.sum(0) as arg 0.
+    if _np_name(call_name(call), _REDUCTIONS):
+        if len(call.args) >= 2:
+            axis = call.args[1]
+    elif call.args:
+        axis = call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "axis":
+            axis = kw.value
+        if (
+            kw.arg == "keepdims"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+        ):
+            return True
+    return (
+        isinstance(axis, (ast.Constant, ast.UnaryOp))
+        and not (isinstance(axis, ast.Constant) and axis.value is None)
+    )
+
+
+def _is_literal_container(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Tuple, ast.ListComp, ast.GeneratorExp)):
+        return True
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float, complex, bool)
+    )
+
+
+class _DtypeVisitor(ast.NodeVisitor):
+    def __init__(self, sf: SourceFile) -> None:
+        self.sf = sf
+        self.findings: List[Finding] = []
+        self.scope: List[str] = []
+        self.func_depth = 0
+        self.closure_stack: List[bool] = []  # inside a nested fwd/bwd closure?
+        self.int_wrapped: Set[int] = set()  # id() of calls under int(...)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def _visit_func(self, node) -> None:
+        is_closure = (
+            self.func_depth > 0 and node.name in ("forward", "backward")
+        )
+        self.scope.append(node.name)
+        self.func_depth += 1
+        self.closure_stack.append(is_closure)
+        self.generic_visit(node)
+        self.closure_stack.pop()
+        self.func_depth -= 1
+        self.scope.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def _emit(self, line: int, message: str, detail: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="R2",
+                slug="dtype",
+                path=self.sf.rel,
+                line=line,
+                scope=".".join(self.scope),
+                message=message,
+                detail=detail,
+            )
+        )
+
+    # -- scalar returns in op closures ------------------------------------
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and any(self.closure_stack):
+            values = (
+                node.value.elts
+                if isinstance(node.value, ast.Tuple)
+                else [node.value]
+            )
+            for value in values:
+                red = self._reduction_name(value)
+                if red is not None:
+                    self._emit(
+                        node.lineno,
+                        f"op closure returns a bare '{red}' result that can "
+                        f"decay to a numpy scalar; wrap it in np.asarray(...)",
+                        detail=f"scalar-return:{self.scope[-1]}:{red}",
+                    )
+        self.generic_visit(node)
+
+    def _reduction_name(self, value: ast.AST) -> Optional[str]:
+        if isinstance(value, ast.Call):
+            dotted = call_name(value)
+            if dotted in _WRAPPERS:
+                return None  # re-wrapped, the contract's fix
+            is_reduction = bool(_np_name(dotted, _REDUCTIONS)) or (
+                isinstance(value.func, ast.Attribute)
+                and value.func.attr in _REDUCTIONS
+            )
+            if is_reduction and not _keeps_dims(value):
+                if _np_name(dotted, _REDUCTIONS):
+                    return dotted
+                return f".{value.func.attr}()"
+        if isinstance(value, ast.BinOp) and isinstance(value.op, ast.MatMult):
+            return "@"
+        return None
+
+    # -- np.prod and allocations -------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = call_name(node)
+        if isinstance(node.func, ast.Name) and node.func.id == "int":
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    self.int_wrapped.add(id(arg))
+        if _np_name(dotted, {"prod"}) and id(node) not in self.int_wrapped:
+            self._emit(
+                node.lineno,
+                "np.prod returns a numpy integer scalar that promotes "
+                "float32 gradients on division; wrap it in int(...)",
+                detail=f"np-prod:{'.'.join(self.scope)}",
+            )
+        leaf = _np_name(dotted, _ALLOC_NO_DTYPE)
+        if leaf is not None and not any(
+            kw.arg == "dtype" for kw in node.keywords
+        ):
+            self._emit(
+                node.lineno,
+                f"np.{leaf} without dtype= allocates float64 by default; "
+                f"pass the operand dtype explicitly",
+                detail=f"alloc:{leaf}:{'.'.join(self.scope)}",
+            )
+        if _np_name(dotted, {"array", "asarray"}):
+            if (
+                node.args
+                and _is_literal_container(node.args[0])
+                and not any(kw.arg == "dtype" for kw in node.keywords)
+            ):
+                self._emit(
+                    node.lineno,
+                    "np.array/np.asarray over a Python literal defaults to "
+                    "float64; pass dtype= explicitly",
+                    detail=f"alloc:array-literal:{'.'.join(self.scope)}",
+                )
+        self.generic_visit(node)
+
+
+@register_rule(
+    "R2",
+    "dtype",
+    "op code must not silently promote to float64 (scalar decay, "
+    "np.int64 arithmetic, dtype-less allocation)",
+)
+def check_dtype(project: Project) -> List[Finding]:
+    descendants = _module_descendants(project)
+    findings: List[Finding] = []
+    for sf in project.target_files:
+        if sf.is_test:
+            continue
+        has_model_class = any(
+            isinstance(n, ast.ClassDef) and n.name in descendants
+            for n in ast.walk(sf.tree)
+        )
+        if not has_model_class and not _has_op_closures(sf.tree):
+            continue
+        visitor = _DtypeVisitor(sf)
+        visitor.visit(sf.tree)
+        findings.extend(visitor.findings)
+    return findings

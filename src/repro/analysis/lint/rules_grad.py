@@ -1,0 +1,171 @@
+"""R3 — buffer-ownership: in-place gradient mutation is a privilege.
+
+PR 8 split gradient buffers into **owned** accumulators (the tensor
+allocated them; in-place writes are safe) and **borrowed** references
+(aliases into another node's buffer — e.g. shared-backward siblings;
+an in-place write corrupts a neighbour, the latent double-release
+class).  The runtime contract is that only two sites may mutate a
+``.grad``/``._grad`` buffer in place — ``Tensor._accumulate_grad`` and
+``clip_grad_norm`` — and anything else must either rebind (plain
+assignment is always safe) or guard the mutation with an explicit
+``_grad_owned`` check.
+
+This rule flags in-place mutation forms applied to a ``.grad`` /
+``._grad`` attribute — augmented assignment, slice assignment,
+``np.copyto``, ``out=`` keyword targets, and ``.fill()`` — outside the
+two sanctioned functions and outside any ``if ... _grad_owned ...:``
+guard.
+
+Pragma: ``# lint: grad-ok(reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.lint.engine import (
+    Finding,
+    Project,
+    SourceFile,
+    call_name,
+    register_rule,
+)
+
+__all__ = ["check_grad_ownership"]
+
+_GRAD_ATTRS = {"grad", "_grad"}
+_ALLOWED_FUNCS = {"_accumulate_grad", "clip_grad_norm"}
+
+
+def _is_grad_attr(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr in _GRAD_ATTRS
+
+
+def _mentions_grad_owned(test: ast.AST) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "_grad_owned":
+            return True
+        if isinstance(node, ast.Name) and node.id == "_grad_owned":
+            return True
+        if isinstance(node, ast.Call) and call_name(node) == "getattr":
+            if (
+                len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value == "_grad_owned"
+            ):
+                return True
+    return False
+
+
+class _GradVisitor(ast.NodeVisitor):
+    def __init__(self, sf: SourceFile) -> None:
+        self.sf = sf
+        self.findings: List[Finding] = []
+        self.scope: List[str] = []
+        self.func_names: List[str] = []
+        self.guard_depth = 0  # nested `if ..._grad_owned...:` blocks
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def _visit_func(self, node) -> None:
+        self.scope.append(node.name)
+        self.func_names.append(node.name)
+        self.generic_visit(node)
+        self.func_names.pop()
+        self.scope.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_If(self, node: ast.If) -> None:
+        guarded = _mentions_grad_owned(node.test)
+        if guarded:
+            self.guard_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if guarded:
+            self.guard_depth -= 1
+        # The else branch is the not-owned path; no guard applies there.
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def _allowed(self) -> bool:
+        return (
+            any(name in _ALLOWED_FUNCS for name in self.func_names)
+            or self.guard_depth > 0
+        )
+
+    def _emit(self, line: int, form: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="R3",
+                slug="grad",
+                path=self.sf.rel,
+                line=line,
+                scope=".".join(self.scope),
+                message=(
+                    f"in-place mutation of a gradient buffer ({form}) outside "
+                    f"_accumulate_grad/clip_grad_norm and without a "
+                    f"_grad_owned guard; borrowed buffers alias sibling "
+                    f"nodes — rebind instead"
+                ),
+                detail=f"grad-mutation:{form}:{'.'.join(self.scope)}",
+            )
+        )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if _is_grad_attr(target) or (
+            isinstance(target, ast.Subscript) and _is_grad_attr(target.value)
+        ):
+            if not self._allowed():
+                self._emit(node.lineno, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and _is_grad_attr(
+                target.value
+            ):
+                if not self._allowed():
+                    self._emit(node.lineno, "slice assignment")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = call_name(node)
+        if dotted in ("np.copyto", "numpy.copyto") and node.args:
+            if _is_grad_attr(node.args[0]) and not self._allowed():
+                self._emit(node.lineno, "np.copyto")
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "fill"
+            and _is_grad_attr(node.func.value)
+            and not self._allowed()
+        ):
+            self._emit(node.lineno, ".fill()")
+        for kw in node.keywords:
+            if kw.arg == "out" and _is_grad_attr(kw.value):
+                if not self._allowed():
+                    self._emit(node.lineno, "out= target")
+        self.generic_visit(node)
+
+
+@register_rule(
+    "R3",
+    "grad",
+    "gradient buffers mutate in place only in sanctioned code or under "
+    "a _grad_owned guard",
+)
+def check_grad_ownership(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for sf in project.target_files:
+        if sf.is_test:
+            continue
+        visitor = _GradVisitor(sf)
+        visitor.visit(sf.tree)
+        findings.extend(visitor.findings)
+    return findings

@@ -1,0 +1,320 @@
+"""R5/R6 — project-wide hygiene: trip points and export surfaces.
+
+**R5 trip-point hygiene.**  The fault-injection story (PR 6 training,
+PR 9 serving chaos) only means something if the trip-point vocabulary
+stays bidirectionally live: a test scheduling a fault at a point no
+production ``trip()`` ever reaches silently tests nothing, and a
+production trip point no test ever exercises is an untested failure
+path.  Production points are the string literals passed to
+``trip(...)`` in non-test code; scheduled points are the literals
+passed to ``crash_at``/``io_error_at``/``delay_at`` on the test side
+(``tests/`` and ``benchmarks/``).  Coverage accepts any test-side
+string literal equal to the point, so parametrized matrices
+(``POINTS = ("serve.encode", ...)``) count.
+Pragma: ``# lint: trip-ok(reason)``.
+
+**R6 export-drift.**  Every module in this repo declares ``__all__``;
+the rule keeps that surface honest: ``__all__`` names must resolve to
+a top-level binding, public top-level ``def``/``class`` symbols must be
+exported or underscore-prefixed, and intra-project ``from X import y``
+must name something ``X`` actually binds (or a submodule).  Module
+constants are deliberately not forced into ``__all__`` — classes and
+functions are the API surface being checked.
+Pragma: ``# lint: export-ok(reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.lint.engine import (
+    Finding,
+    Project,
+    SourceFile,
+    call_name,
+    register_rule,
+)
+
+__all__ = ["check_trip_points", "check_exports", "module_bindings"]
+
+_SCHEDULERS = {"crash_at", "io_error_at", "delay_at"}
+
+
+def _leaf(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+@register_rule(
+    "R5",
+    "trip",
+    "fault trip points must exist in production and be exercised by tests",
+)
+def check_trip_points(project: Project) -> List[Finding]:
+    prod_points: Dict[str, Tuple[str, int]] = {}
+    for sf in project.files:
+        if sf.is_test:
+            continue
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _leaf(call_name(node)) == "trip"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                prod_points.setdefault(
+                    node.args[0].value, (sf.rel, node.lineno)
+                )
+
+    covered: Set[str] = set()
+    scheduled: List[Tuple[str, str, int]] = []
+    for sf in project.files:
+        if not sf.is_test:
+            continue
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                covered.add(node.value)
+            if (
+                isinstance(node, ast.Call)
+                and _leaf(call_name(node)) in _SCHEDULERS
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                scheduled.append((node.args[0].value, sf.rel, node.lineno))
+
+    findings: List[Finding] = []
+    for point, rel, line in scheduled:
+        if point not in prod_points:
+            findings.append(
+                Finding(
+                    rule="R5",
+                    slug="trip",
+                    path=rel,
+                    line=line,
+                    scope="",
+                    message=(
+                        f"test schedules a fault at '{point}' but no "
+                        f"production trip() uses that point — the fault "
+                        f"can never fire"
+                    ),
+                    detail=f"unknown:{point}",
+                )
+            )
+    for point, (rel, line) in sorted(prod_points.items()):
+        if point not in covered:
+            findings.append(
+                Finding(
+                    rule="R5",
+                    slug="trip",
+                    path=rel,
+                    line=line,
+                    scope="",
+                    message=(
+                        f"production trip point '{point}' is never "
+                        f"referenced by any test — this failure path is "
+                        f"unexercised"
+                    ),
+                    detail=f"untested:{point}",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# R6
+# ---------------------------------------------------------------------------
+def module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level, descending into If/Try/loop
+    bodies (the ``try: import scipy`` fallback pattern) but not into
+    functions or classes."""
+    names: Set[str] = set()
+
+    def add_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                add_target(elt)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    def collect(body) -> None:
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    add_target(target)
+            elif isinstance(stmt, ast.AnnAssign):
+                add_target(stmt.target)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name != "*":
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.If):
+                collect(stmt.body)
+                collect(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                collect(stmt.body)
+                for handler in stmt.handlers:
+                    collect(handler.body)
+                collect(stmt.orelse)
+                collect(stmt.finalbody)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                add_target(stmt.target)
+                collect(stmt.body)
+                collect(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                collect(stmt.body)
+                collect(stmt.orelse)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        add_target(item.optional_vars)
+                collect(stmt.body)
+
+    collect(tree.body)
+    return names
+
+
+def _declared_all(tree: ast.Module) -> Tuple[List[Tuple[str, int]], int]:
+    """(names-with-lines, assign-line) of a literal ``__all__``; line 0 if absent."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in stmt.targets
+        ):
+            if isinstance(stmt.value, (ast.List, ast.Tuple)):
+                names = [
+                    (elt.value, elt.lineno)
+                    for elt in stmt.value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                ]
+                return names, stmt.lineno
+            return [], stmt.lineno  # dynamic __all__: skip content checks
+    return [], 0
+
+
+@register_rule(
+    "R6",
+    "export",
+    "__all__ must resolve and public symbols must be exported",
+)
+def check_exports(project: Project) -> List[Finding]:
+    bindings_cache: Dict[str, Set[str]] = {}
+
+    def bindings_of(mod: str) -> Set[str]:
+        if mod not in bindings_cache:
+            sf = project.by_module.get(mod)
+            bindings_cache[mod] = module_bindings(sf.tree) if sf else set()
+        return bindings_cache[mod]
+
+    findings: List[Finding] = []
+    for sf in project.target_files:
+        if sf.is_test:
+            continue
+        bindings = module_bindings(sf.tree)
+        all_names, all_line = _declared_all(sf.tree)
+        exported = {name for name, _ in all_names}
+        if all_line:
+            for name, line in all_names:
+                if name not in bindings:
+                    findings.append(
+                        Finding(
+                            rule="R6",
+                            slug="export",
+                            path=sf.rel,
+                            line=line,
+                            scope="",
+                            message=(
+                                f"'{name}' is listed in __all__ but the "
+                                f"module binds no such name"
+                            ),
+                            detail=f"unresolved:{name}",
+                        )
+                    )
+            for stmt in sf.tree.body:
+                if (
+                    isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    )
+                    and not stmt.name.startswith("_")
+                    and stmt.name not in exported
+                ):
+                    findings.append(
+                        Finding(
+                            rule="R6",
+                            slug="export",
+                            path=sf.rel,
+                            line=stmt.lineno,
+                            scope="",
+                            message=(
+                                f"public symbol '{stmt.name}' is not in "
+                                f"__all__; export it or prefix it with _"
+                            ),
+                            detail=f"drift:{stmt.name}",
+                        )
+                    )
+        else:
+            has_public = any(
+                isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                and not stmt.name.startswith("_")
+                for stmt in sf.tree.body
+            )
+            if has_public:
+                findings.append(
+                    Finding(
+                        rule="R6",
+                        slug="export",
+                        path=sf.rel,
+                        line=1,
+                        scope="",
+                        message=(
+                            "module defines public symbols but no __all__"
+                        ),
+                        detail="no-all",
+                    )
+                )
+        # Intra-project import resolution (any scope: lazy imports too).
+        for node in ast.walk(sf.tree):
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.level == 0
+                and node.module
+                and node.module in project.by_module
+            ):
+                target_bindings = bindings_of(node.module)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    if (
+                        alias.name not in target_bindings
+                        and f"{node.module}.{alias.name}"
+                        not in project.by_module
+                    ):
+                        findings.append(
+                            Finding(
+                                rule="R6",
+                                slug="export",
+                                path=sf.rel,
+                                line=node.lineno,
+                                scope="",
+                                message=(
+                                    f"'{alias.name}' imported from "
+                                    f"{node.module}, which binds no such "
+                                    f"name"
+                                ),
+                                detail=f"import:{node.module}.{alias.name}",
+                            )
+                        )
+    return findings

@@ -1,0 +1,220 @@
+"""R1 — replay-coverage: every autograd node must be capture-safe.
+
+PR 8's static-graph capture only works because **every** op records a
+replay closure: nodes built through the ``_make`` chokepoint pass their
+``forward`` as the replay; fused multi-output nodes built directly as
+``Tensor(..., _backward=...)`` must call ``record_node`` themselves in
+the same function.  A node that skips both is invisible to capture and
+silently produces a stale tape.  Replay closures additionally may not
+touch ambient nondeterministic state (``np.random``, ``random``,
+``time``, ``datetime``, ``secrets``, ``os.urandom``) — randomness must
+arrive as an explicitly passed RNG stream, and host-side recomputes go
+through ``record_host``.  Three checks:
+
+- ``_make(...)`` called without a replay closure (fewer than four
+  positional arguments and no ``replay=``, or an explicit
+  ``replay=None``);
+- ``Tensor(..., _backward=...)`` constructed in a function that never
+  calls ``record_node`` (outside the module defining ``Tensor`` itself,
+  whose internals are the engine);
+- a replay closure (the 4th ``_make`` argument or the 2nd
+  ``record_node`` argument, resolved lexically) whose body reaches an
+  ambient-state root.
+
+Pragma: ``# lint: replay-ok(reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.lint.engine import (
+    Finding,
+    Project,
+    SourceFile,
+    call_name,
+    register_rule,
+)
+
+__all__ = ["check_replay"]
+
+#: Dotted-name roots a replay closure must not reach.
+_AMBIENT_ROOTS = {"random", "time", "datetime", "secrets"}
+_AMBIENT_PREFIXES = ("np.random", "numpy.random", "os.urandom")
+
+
+def _is_ambient(dotted: str) -> bool:
+    if not dotted:
+        return False
+    root = dotted.split(".", 1)[0]
+    if root in _AMBIENT_ROOTS:
+        return True
+    return any(
+        dotted == p or dotted.startswith(p + ".") for p in _AMBIENT_PREFIXES
+    )
+
+
+def _ambient_uses(closure: ast.AST) -> List[tuple]:
+    """(line, dotted) for every ambient-state reference in a closure body."""
+    hits = []
+    for node in ast.walk(closure):
+        if isinstance(node, ast.Attribute):
+            dotted = call_name(node)
+            if _is_ambient(dotted):
+                hits.append((node.lineno, dotted))
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if _is_ambient(node.func.id):
+                hits.append((node.lineno, node.func.id))
+    # An attribute chain like np.random.default_rng reports once per
+    # Attribute level; keep the longest (first-seen deepest) per line.
+    best: Dict[int, str] = {}
+    for line, dotted in hits:
+        if len(dotted) > len(best.get(line, "")):
+            best[line] = dotted
+    return sorted(best.items())
+
+
+class _ReplayVisitor(ast.NodeVisitor):
+    def __init__(self, sf: SourceFile, defines_tensor: bool) -> None:
+        self.sf = sf
+        self.defines_tensor = defines_tensor
+        self.findings: List[Finding] = []
+        self.scope: List[str] = []
+        self.func_stack: List[ast.AST] = []
+        self.checked_closures: Set[int] = set()
+
+    # -- scope bookkeeping ------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def _visit_func(self, node) -> None:
+        self.scope.append(node.name)
+        self.func_stack.append(node)
+        self.generic_visit(node)
+        self.func_stack.pop()
+        self.scope.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def _qualname(self) -> str:
+        return ".".join(self.scope)
+
+    def _emit(self, line: int, message: str, detail: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="R1",
+                slug="replay",
+                path=self.sf.rel,
+                line=line,
+                scope=self._qualname(),
+                message=message,
+                detail=detail,
+            )
+        )
+
+    def _resolve_closure(self, expr: ast.AST) -> Optional[ast.AST]:
+        if isinstance(expr, ast.Lambda):
+            return expr
+        if isinstance(expr, ast.Name):
+            for func in reversed(self.func_stack):
+                for child in ast.walk(func):
+                    if (
+                        isinstance(child, ast.FunctionDef)
+                        and child.name == expr.id
+                    ):
+                        return child
+        return None
+
+    def _check_closure(self, expr: ast.AST, via: str) -> None:
+        closure = self._resolve_closure(expr)
+        if closure is None or id(closure) in self.checked_closures:
+            return
+        self.checked_closures.add(id(closure))
+        name = getattr(closure, "name", "<lambda>")
+        for line, dotted in _ambient_uses(closure):
+            self._emit(
+                line,
+                f"replay closure '{name}' (via {via}) calls ambient "
+                f"'{dotted}'; pass an RNG stream explicitly or register "
+                f"the recompute with record_host",
+                detail=f"ambient:{name}:{dotted}",
+            )
+
+    # -- the checks -------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node)
+        if name == "_make" or name.endswith("._make"):
+            replay = None
+            if len(node.args) >= 4:
+                replay = node.args[3]
+            for kw in node.keywords:
+                if kw.arg == "replay":
+                    replay = kw.value
+            if replay is None or (
+                isinstance(replay, ast.Constant) and replay.value is None
+            ):
+                self._emit(
+                    node.lineno,
+                    "_make() called without a replay closure; the node "
+                    "will fail static-graph capture (GraphCaptureError)",
+                    detail="make-no-replay",
+                )
+            else:
+                self._check_closure(replay, "_make")
+        elif name == "record_node" or name.endswith(".record_node"):
+            if len(node.args) >= 2:
+                self._check_closure(node.args[1], "record_node")
+        elif (
+            name == "Tensor" or name.endswith(".Tensor")
+        ) and not self.defines_tensor:
+            backward = next(
+                (kw.value for kw in node.keywords if kw.arg == "_backward"),
+                None,
+            )
+            if backward is not None and not (
+                isinstance(backward, ast.Constant) and backward.value is None
+            ):
+                if not self._enclosing_records_node():
+                    self._emit(
+                        node.lineno,
+                        "Tensor(..., _backward=...) built outside _make in a "
+                        "function that never calls record_node; the node is "
+                        "invisible to static-graph capture",
+                        detail="tensor-no-record",
+                    )
+        self.generic_visit(node)
+
+    def _enclosing_records_node(self) -> bool:
+        for func in self.func_stack:
+            if getattr(func, "name", "") == "_make":
+                return True  # the chokepoint itself records
+            for child in ast.walk(func):
+                if isinstance(child, ast.Call):
+                    cn = call_name(child)
+                    if cn == "record_node" or cn.endswith(".record_node"):
+                        return True
+        return False
+
+
+@register_rule(
+    "R1",
+    "replay",
+    "autograd nodes must carry replay closures free of ambient state",
+)
+def check_replay(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for sf in project.target_files:
+        if sf.is_test:
+            continue
+        defines_tensor = any(
+            isinstance(n, ast.ClassDef) and n.name == "Tensor"
+            for n in ast.walk(sf.tree)
+        )
+        visitor = _ReplayVisitor(sf, defines_tensor)
+        visitor.visit(sf.tree)
+        findings.extend(visitor.findings)
+    return findings

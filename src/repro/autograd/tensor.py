@@ -28,6 +28,8 @@ __all__ = [
     "as_tensor",
     "parameter_version",
     "bump_parameter_version",
+    "get_default_dtype",
+    "set_default_dtype",
 ]
 
 _DEFAULT_DTYPE = np.float32

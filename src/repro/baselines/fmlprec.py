@@ -41,7 +41,7 @@ class FMLPRec(SequentialEncoderBase):
         )
         rng = np.random.default_rng(seed + 11)
         m = num_frequency_bins(max_len)
-        full_band = np.ones(m)
+        full_band = np.ones(m, dtype=np.float64)
         self.layers = ModuleList(
             [
                 FilterMixerLayer(

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.experiments import EXPERIMENTS, ExperimentBudget
 
+__all__ = ["main"]
+
 _BUDGETS = {
     "quick": ExperimentBudget.quick,
     "small": ExperimentBudget.small,

@@ -469,12 +469,13 @@ class RecommenderService:
                 f"no result within {self.config.request_timeout_ms:.0f} ms"
             )
         ):
-            self._deadline_expired += 1
+            with self._cond:
+                self._deadline_expired += 1
 
     # ------------------------------------------------------------------
     # Collector thread
     # ------------------------------------------------------------------
-    def _ensure_collector(self) -> None:
+    def _ensure_collector(self) -> None:  # lint: unlocked-ok(caller holds _cond)
         """Start (or restart) the collector thread; caller holds _cond."""
         if self._collector is not None and self._collector.is_alive():
             return
@@ -538,13 +539,14 @@ class RecommenderService:
                 faults.trip("serve.collect")
                 self._serve_batch(batch)
             except BaseException as exc:
-                self._collector_failures += 1
+                with self._cond:
+                    self._collector_failures += 1
+                    failures = self._collector_failures
                 for request in batch:
                     request.complete(error=exc)
-                if self._collector_failures > self.config.max_collector_restarts:
+                if failures > self.config.max_collector_restarts:
                     self._enter_fallback(
-                        f"collector failed {self._collector_failures} times "
-                        f"(last: {exc!r})"
+                        f"collector failed {failures} times (last: {exc!r})"
                     )
 
     # ------------------------------------------------------------------
@@ -559,7 +561,8 @@ class RecommenderService:
                 if request.complete(
                     error=DeadlineExceeded("deadline expired before serving")
                 ):
-                    self._deadline_expired += 1
+                    with self._cond:
+                        self._deadline_expired += 1
             else:
                 live.append(request)
         return live
@@ -573,7 +576,9 @@ class RecommenderService:
         live = self._expire_requests(requests)
         if not live:
             return
-        if self._fallback_active:
+        with self._cond:
+            fallback_active = self._fallback_active
+        if fallback_active:
             self._serve_fallback(live)
             return
         try:
@@ -679,7 +684,9 @@ class RecommenderService:
     # ------------------------------------------------------------------
     # Degraded mode
     # ------------------------------------------------------------------
-    def _enter_fallback_locked(self, reason: str) -> List[_Request]:
+    def _enter_fallback_locked(  # lint: unlocked-ok(caller holds _cond)
+        self, reason: str
+    ) -> List[_Request]:
         """Flip to permanent fallback; caller holds _cond.  Returns the
         stranded queue for the caller to serve degraded off-lock."""
         if self._fallback_active:
@@ -720,7 +727,8 @@ class RecommenderService:
 
     @property
     def fallback_active(self) -> bool:
-        return self._fallback_active
+        with self._cond:
+            return self._fallback_active
 
     @property
     def fallback_ranker(self) -> PopularityRanker:
@@ -750,7 +758,7 @@ class RecommenderService:
             with self._lock:
                 self._table = new
 
-    def _maybe_refresh_async(self) -> None:
+    def _maybe_refresh_async(self) -> None:  # lint: unlocked-ok(caller holds _lock)
         """Kick one background refresh; caller holds ``self._lock``."""
         if self._refresh_pending:
             return
@@ -762,7 +770,8 @@ class RecommenderService:
             except BaseException:
                 pass  # counted in refresh_errors; old snapshot stays live
             finally:
-                self._refresh_pending = False
+                with self._lock:
+                    self._refresh_pending = False
 
         threading.Thread(
             target=worker, name="repro-serve-refresh", daemon=True
@@ -770,7 +779,8 @@ class RecommenderService:
 
     @property
     def table(self) -> ItemTable:
-        return self._table
+        with self._lock:
+            return self._table
 
     def stats(self) -> dict:
         """Serving counters: request/batch/cache plus failure accounting."""

@@ -30,7 +30,7 @@ from repro.data.synthetic import PRESETS, load_preset
 from repro.train.trainer import TrainConfig, Trainer
 from repro.utils.io import save_checkpoint
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -5,6 +5,10 @@ import pytest
 
 from repro.autograd.tensor import set_default_dtype
 
+# The lint fixture corpus contains deliberate rule violations (and fake
+# test files for the trip-point rule); it is analyzer input, not tests.
+collect_ignore = ["lint_fixtures"]
+
 
 @pytest.fixture(autouse=True)
 def _float64_default():

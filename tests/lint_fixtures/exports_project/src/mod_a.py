@@ -1,0 +1,7 @@
+"""R6 cross-module fixture: the providing side."""
+
+__all__ = ["provided"]
+
+
+def provided():
+    return 1

@@ -1,0 +1,10 @@
+"""R6 cross-module fixture: the importing side."""
+
+from mod_a import provided  # FP pin: resolves
+from mod_a import absent  # TP: mod_a binds no such name
+
+__all__ = ["use"]
+
+
+def use():
+    return provided() and absent()

@@ -1,0 +1,54 @@
+"""R1 false-positive pins: capture-safe construction must stay silent."""
+
+import numpy as np
+
+from repro.autograd.functional import _make
+from repro.autograd.graph import record_host, record_node
+from repro.autograd.tensor import Tensor
+
+
+def add(a, b):
+    def forward():
+        return a.data + b.data
+
+    def backward(grad):
+        return grad, grad
+
+    # FP pin: the canonical chokepoint call with a replay closure.
+    return _make(forward(), (a, b), backward, forward)
+
+
+def dropout(a, rng):
+    def forward():
+        mask = rng.random(a.shape) > 0.5  # passed-in stream, not ambient
+        return a.data * mask
+
+    def backward(grad):
+        return (grad,)
+
+    return _make(forward(), (a,), backward, forward)
+
+
+def fused_pair(a):
+    def backward(grad):
+        return (grad,)
+
+    def forward():
+        return a.data * 2.0
+
+    # FP pin: direct Tensor construction is fine when the function
+    # registers the node itself (the multi-output fused-op pattern).
+    out = Tensor(forward(), _parents=(a,), _backward=backward)
+    record_node(out, forward, "fused_pair")
+    return out
+
+
+def host_side_mask(a, state):
+    def rebuild():
+        np.copyto(state["mask"], a.data > 0)
+
+    # FP pin: record_host closures recompute host buffers in place and
+    # are exempt from the replay-purity scan by design.
+    rebuild()
+    record_host(rebuild, "fixture.mask")
+    return state["mask"]

@@ -1,0 +1,78 @@
+"""R1 true-positive corpus: capture-unsafe autograd node construction.
+
+Parsed by the analyzer tests, never imported or executed.
+"""
+
+import numpy as np
+
+from repro.autograd.functional import _make
+from repro.autograd.graph import record_node
+from repro.autograd.tensor import Tensor
+
+
+def add_no_replay(a, b):
+    def forward():
+        return a.data + b.data
+
+    def backward(grad):
+        return grad, grad
+
+    # TP: three positional args, no replay closure.
+    return _make(forward(), (a, b), backward)
+
+
+def add_explicit_none(a, b):
+    def forward():
+        return a.data + b.data
+
+    def backward(grad):
+        return grad, grad
+
+    # TP: replay=None is the same hole spelled out.
+    return _make(forward(), (a, b), backward, replay=None)
+
+
+def fused_without_record(a):
+    def backward(grad):
+        return (grad,)
+
+    # TP: node built outside _make, and this function never calls
+    # record_node — invisible to capture.
+    return Tensor(a.data * 2.0, _parents=(a,), _backward=backward)
+
+
+def ambient_rng_replay(a):
+    def forward():
+        noise = np.random.default_rng(0).random(a.shape)
+        return a.data + noise
+
+    def backward(grad):
+        return (grad,)
+
+    # TP (on the np.random line): the replay closure draws from ambient
+    # RNG, so a replayed tape would diverge from the dynamic step.
+    return _make(forward(), (a,), backward, forward)
+
+
+def ambient_clock_replay(a):
+    import time
+
+    def forward():
+        return a.data * time.time()
+
+    def backward(grad):
+        return (grad,)
+
+    # TP: wall-clock reads are ambient state too.
+    return _make(forward(), (a,), backward, forward)
+
+
+def pragma_accepted(a, b):
+    def forward():
+        return a.data - b.data
+
+    def backward(grad):
+        return grad, grad
+
+    # Suppressed: the pragma documents a sanctioned exception.
+    return _make(forward(), (a, b), backward)  # lint: replay-ok(capture-exempt op)

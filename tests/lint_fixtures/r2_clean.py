@@ -1,0 +1,47 @@
+"""R2 false-positive pins: dtype-stable op code must stay silent."""
+
+import numpy as np
+
+from repro.autograd.functional import _make
+
+
+def mean_op(a):
+    def forward():
+        # FP pin: re-wrapped reduction, the contract's fix.
+        return np.asarray(a.data.mean(), dtype=a.dtype)
+
+    def backward(grad):
+        # FP pin: int() wrapper keeps the count a Python int.
+        count = int(np.prod(a.shape))
+        return (np.broadcast_to(grad / count, a.shape),)
+
+    return _make(forward(), (a,), backward, forward)
+
+
+def bias_grad_op(x, w, b):
+    def forward():
+        out = x.data @ w.data
+        out += b.data
+        return out
+
+    def backward(grad):
+        # FP pins: assigned matmuls (src idiom) and a constant non-None
+        # axis, which cannot produce a scalar here.
+        gx = grad @ w.data.T
+        gw = x.data.T @ grad
+        return gx, gw, grad.sum(axis=0)
+
+    return _make(forward(), (x, w, b), backward, forward)
+
+
+def alloc_op(a):
+    def forward():
+        # FP pins: explicit dtype, dtype-preserving array copy.
+        out = np.zeros(a.shape, dtype=a.dtype)
+        out += np.array(a.data, copy=True)
+        return out
+
+    def backward(grad):
+        return (grad.astype(a.dtype, copy=False),)
+
+    return _make(forward(), (a,), backward, forward)

@@ -1,0 +1,53 @@
+"""R2 true-positive corpus: the float64-promotion shapes PR 2 fixed."""
+
+import numpy as np
+
+from repro.autograd.functional import _make
+
+
+def mean_op(a):
+    def forward():
+        # TP: axis-less reduction returns a numpy scalar.
+        return a.data.mean()
+
+    def backward(grad):
+        # TP: np.prod yields np.int64; dividing a float32 grad by it
+        # promotes to float64.
+        count = np.prod(a.shape)
+        return (np.broadcast_to(grad / count, a.shape),)
+
+    return _make(forward(), (a,), backward, forward)
+
+
+def dot_op(a, b):
+    def forward():
+        # TP: 1-D @ 1-D decays to a scalar.
+        return a.data @ b.data
+
+    def backward(grad):
+        return grad * b.data, grad * a.data
+
+    return _make(forward(), (a, b), backward, forward)
+
+
+def pad_op(a):
+    def forward():
+        # TP x2: dtype-less allocations default to float64.
+        out = np.zeros(a.shape)
+        out += np.array([1.0, 2.0])
+        return out
+
+    def backward(grad):
+        return (grad,)
+
+    return _make(forward(), (a,), backward, forward)
+
+
+def pragma_accepted(a):
+    def forward():
+        return a.data.sum()  # lint: dtype-ok(loss scalars are float64 on purpose)
+
+    def backward(grad):
+        return (np.broadcast_to(grad, a.shape),)
+
+    return _make(forward(), (a,), backward, forward)

@@ -1,0 +1,11 @@
+"""R2 scope pin: modules without op closures or Module-descendant
+classes are analysis/tooling code, where float64 defaults are fine."""
+
+import numpy as np
+
+
+def histogram(values, bins):
+    counts = np.zeros(bins)  # FP pin: out of R2 scope, no finding
+    for v in values:
+        counts[int(v)] += 1
+    return counts

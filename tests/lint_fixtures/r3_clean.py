@@ -1,0 +1,33 @@
+"""R3 false-positive pins: sanctioned or rebinding gradient code."""
+
+import numpy as np
+
+
+class Tensor:
+    def _accumulate_grad(self, grad):
+        # FP pin: the sanctioned accumulation site may mutate in place.
+        if self._grad is None:
+            self._grad = grad
+        else:
+            self._grad += grad
+
+
+def clip_grad_norm(params, scale):
+    # FP pin: the sanctioned clipping site.
+    for p in params:
+        np.multiply(p.grad, scale, out=p.grad)
+
+
+def guarded_scale(params, scale):
+    for p in params:
+        if getattr(p, "_grad_owned", False):
+            # FP pin: explicit ownership guard sanctions the mutation.
+            p.grad *= scale
+        else:
+            p._grad = p.grad * scale  # FP pin: rebinding is always safe
+
+
+def seed_buffers(params, bufs):
+    for p, buf in zip(params, bufs):
+        p._grad = buf  # FP pin: plain rebind, not a mutation
+        p._grad_owned = True

@@ -1,0 +1,34 @@
+"""R3 true-positive corpus: unsanctioned in-place gradient mutation."""
+
+import numpy as np
+
+
+def scale_grads(params, factor):
+    for p in params:
+        # TP: in-place scale with no ownership guard — if the buffer is
+        # borrowed this corrupts a sibling node's accumulator.
+        p.grad *= factor
+
+
+def zero_first_row(p):
+    # TP: slice assignment into the buffer.
+    p.grad[0] = 0.0
+
+
+def overwrite(p, values):
+    # TP: np.copyto mutates the destination buffer.
+    np.copyto(p.grad, values)
+
+
+def scale_out(p, factor):
+    # TP: out= aliases the gradient buffer as the destination.
+    np.multiply(p.grad, factor, out=p.grad)
+
+
+def clear(p):
+    # TP: .fill() is an in-place write too.
+    p._grad.fill(0.0)
+
+
+def pragma_accepted(p):
+    p.grad += 1.0  # lint: grad-ok(fixture-sanctioned accumulation)

@@ -1,0 +1,50 @@
+"""R4 true-positive corpus: bare access to lock-protected attributes."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # __init__ writes are exempt (pre-sharing)
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        # TP: _count is written under _lock in increment() but read bare.
+        return self._count
+
+    def reset(self):
+        # TP: bare write.
+        self._count = 0
+
+    def drain_async(self):
+        def worker():
+            # TP: the closure runs on another thread later; the lock
+            # held at definition time is NOT held at execution time.
+            self._count = 0
+
+        with self._lock:
+            return worker
+
+    def audited_peek(self):  # lint: unlocked-ok(caller holds _lock)
+        # Suppressed: the pragma documents the caller-holds protocol.
+        return self._count
+
+
+class CondQueue:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def put(self, item):
+        with self._cond:
+            self._items.append(item)
+            self._items[0] = item  # subscript write under the lock
+            self._cond.notify_all()
+
+    def stale_len(self):
+        # TP: Condition counts as a lock for the discipline.
+        return len(self._items)

@@ -1,0 +1,22 @@
+"""R6 false-positive pins: an honest export surface."""
+
+try:
+    from json import dumps  # conditional import still binds the name
+except ImportError:  # pragma: no cover
+    dumps = repr
+
+__all__ = ["Widget", "render", "dumps"]
+
+DEFAULT_SIZE = 4  # FP pin: module constants are not forced into __all__
+
+
+class Widget:
+    pass
+
+
+def render(widget):
+    return dumps({"widget": repr(widget)})
+
+
+def _internal(widget):  # FP pin
+    return widget

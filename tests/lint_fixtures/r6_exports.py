@@ -1,0 +1,22 @@
+"""R6 true-positive corpus: a drifted export surface."""
+
+__all__ = [
+    "build",
+    "vanished",  # TP: no such binding in this module
+]
+
+
+def build(config):
+    return config
+
+
+def helper(config):  # TP: public but not exported and not underscored
+    return dict(config)
+
+
+def _private(config):  # FP pin: underscore names need no export
+    return config
+
+
+def pragma_accepted(config):  # lint: export-ok(legacy shim kept importable)
+    return config

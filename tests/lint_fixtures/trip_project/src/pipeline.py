@@ -1,0 +1,17 @@
+"""R5 fixture production side: two trip points, one never tested."""
+
+from repro.utils import faults
+
+__all__ = ["run", "flush"]
+
+
+def run(batches):
+    for i, batch in enumerate(batches):
+        faults.trip("stage.run", i)  # covered by the fixture tests
+        yield batch
+
+
+def flush(sink):
+    # TP: no fixture test ever references 'stage.flush'.
+    faults.trip("stage.flush")
+    sink.flush()

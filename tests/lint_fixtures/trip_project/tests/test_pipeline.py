@@ -1,0 +1,15 @@
+"""R5 fixture test side.  Never collected by pytest (see
+tests/conftest.py collect_ignore); only parsed by the analyzer."""
+
+from repro.utils.faults import FaultInjector
+
+# Parametrized-matrix coverage: a bare string literal anywhere in a
+# test file counts as exercising the point.
+POINTS = ("stage.run",)
+
+
+def test_run_crashes():
+    injector = FaultInjector().crash_at("stage.run", at=1)
+    # TP: 'stage.missing' exists in no production trip() call — this
+    # schedule can never fire.
+    injector.io_error_at("stage.missing")

@@ -737,6 +737,20 @@ class TestCheckpointStore:
         assert not list(tmp_path.glob(".*tmp*"))
         assert store.load_latest()["step"] == 1
 
+    def test_crash_after_rotation_loses_nothing(self, tmp_path):
+        # checkpoint.end trips after rotation completes: a crash there
+        # must find the new checkpoint published and the prune already
+        # applied — the fully-durable end state.
+        store = CheckpointStore(tmp_path, keep_last=2)
+        for step in (1, 2):
+            store.save(payload(step), {"step": step}, step=step)
+        with faults.inject(FaultInjector().crash_at("checkpoint.end", at=3)):
+            with pytest.raises(InjectedCrash):
+                store.save(payload(3), {"step": 3}, step=3)
+        assert not list(tmp_path.glob(".*tmp*"))
+        assert store.load_latest()["step"] == 3
+        assert [e["step"] for e in store.entries()] == [2, 3]
+
     def test_keep_last_validated(self, tmp_path):
         with pytest.raises(ValueError, match="keep_last"):
             CheckpointStore(tmp_path, keep_last=0)

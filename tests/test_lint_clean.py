@@ -1,0 +1,44 @@
+"""Tier-1 gate: the repo's own source must lint clean.
+
+This is the CI teeth of ``repro-lint``: every invariant rule (replay
+coverage, dtype stability, grad-buffer ownership, serving lock
+discipline, trip-point hygiene, export drift) runs over ``src/repro``
+on every test run, against the committed justification-annotated
+baseline.  A new violation fails the suite with the finding text; a
+fixed violation fails too (stale baseline entry) so the baseline can
+only shrink deliberately.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import format_findings, run_lint
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_src_is_lint_clean():
+    report = run_lint(
+        [ROOT / "src" / "repro"],
+        root=ROOT,
+        baseline=ROOT / "lint_baseline.txt",
+    )
+    assert report.clean, (
+        "repro-lint found new violations (fix them or baseline with a "
+        "justification):\n" + format_findings(report.findings)
+    )
+    assert not report.stale_baseline, (
+        "baseline entries no longer match any finding — remove them: "
+        + ", ".join(report.stale_baseline)
+    )
+
+
+def test_lint_run_is_fast_enough_for_ci():
+    report = run_lint(
+        [ROOT / "src" / "repro"],
+        root=ROOT,
+        baseline=ROOT / "lint_baseline.txt",
+    )
+    assert report.duration < 5.0, (
+        f"lint took {report.duration:.2f}s; the tier-1 budget is 5s"
+    )
+    assert report.files_analyzed > 80  # the whole package was scanned

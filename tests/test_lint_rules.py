@@ -1,0 +1,271 @@
+"""Analyzer self-tests: fixture-pinned true/false positives per rule.
+
+Every rule R1–R6 gets at least one pinned true positive (the fixture
+violation is found) and one pinned false positive (the known-good
+sibling stays silent), plus pragma handling and the baseline
+round-trip.  Fixtures live under ``tests/lint_fixtures/`` and are
+parsed, never imported (``collect_ignore`` in conftest.py).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Finding,
+    format_finding,
+    load_baseline,
+    render_baseline,
+    run_lint,
+)
+from repro.analysis.lint.baseline import BaselineError
+from repro.analysis.lint.cli import main as lint_main
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def lint(name, rules, **kwargs):
+    kwargs.setdefault("root", FIXTURES)
+    return run_lint([FIXTURES / name], rules=rules, **kwargs)
+
+
+def details(report):
+    return sorted(f.detail for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# R1 replay-coverage
+# ----------------------------------------------------------------------
+class TestReplayRule:
+    def test_true_positives(self):
+        report = lint("r1_replay.py", ["R1"])
+        assert details(report) == [
+            "ambient:forward:np.random.default_rng",
+            "ambient:forward:time.time",
+            "make-no-replay",
+            "make-no-replay",
+            "tensor-no-record",
+        ]
+
+    def test_false_positive_pins(self):
+        assert lint("r1_clean.py", ["R1"]).findings == []
+
+    def test_pragma_suppresses(self):
+        assert lint("r1_replay.py", ["R1"]).suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# R2 dtype-stability
+# ----------------------------------------------------------------------
+class TestDtypeRule:
+    def test_true_positives(self):
+        report = lint("r2_dtype.py", ["R2"])
+        assert details(report) == [
+            "alloc:array-literal:pad_op.forward",
+            "alloc:zeros:pad_op.forward",
+            "np-prod:mean_op.backward",
+            "scalar-return:forward:.mean()",
+            "scalar-return:forward:@",
+        ]
+
+    def test_false_positive_pins(self):
+        assert lint("r2_clean.py", ["R2"]).findings == []
+
+    def test_out_of_scope_modules_are_silent(self):
+        assert lint("r2_out_of_scope.py", ["R2"]).findings == []
+
+    def test_pragma_suppresses(self):
+        assert lint("r2_dtype.py", ["R2"]).suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# R3 buffer-ownership
+# ----------------------------------------------------------------------
+class TestGradRule:
+    def test_true_positives(self):
+        report = lint("r3_grad.py", ["R3"])
+        forms = sorted(f.detail.split(":")[1] for f in report.findings)
+        assert forms == sorted(
+            [
+                "augmented assignment",
+                "slice assignment",
+                "np.copyto",
+                "out= target",
+                ".fill()",
+            ]
+        )
+
+    def test_false_positive_pins(self):
+        assert lint("r3_clean.py", ["R3"]).findings == []
+
+    def test_pragma_suppresses(self):
+        assert lint("r3_grad.py", ["R3"]).suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# R4 lock-discipline
+# ----------------------------------------------------------------------
+class TestLockRule:
+    def test_true_positives(self):
+        report = lint("r4_locks.py", ["R4"])
+        assert details(report) == [
+            "CondQueue.stale_len._items",
+            "Counter.drain_async._count",
+            "Counter.peek._count",
+            "Counter.reset._count",
+        ]
+
+    def test_nested_closures_drop_the_held_set(self):
+        report = lint("r4_locks.py", ["R4"])
+        assert any(f.detail == "Counter.drain_async._count" for f in report.findings)
+
+    def test_false_positive_pins(self):
+        assert lint("r4_clean.py", ["R4"]).findings == []
+
+    def test_pragma_suppresses(self):
+        assert lint("r4_locks.py", ["R4"]).suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# R5 trip-point hygiene
+# ----------------------------------------------------------------------
+class TestTripRule:
+    def test_both_directions(self):
+        root = FIXTURES / "trip_project"
+        report = run_lint([root], root=root, rules=["R5"])
+        assert details(report) == ["unknown:stage.missing", "untested:stage.flush"]
+
+    def test_covered_point_is_silent(self):
+        root = FIXTURES / "trip_project"
+        report = run_lint([root], root=root, rules=["R5"])
+        assert not any("stage.run" in (f.detail or "") for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# R6 export-drift
+# ----------------------------------------------------------------------
+class TestExportRule:
+    def test_true_positives(self):
+        report = lint("r6_exports.py", ["R6"])
+        assert details(report) == ["drift:helper", "unresolved:vanished"]
+
+    def test_false_positive_pins(self):
+        assert lint("r6_clean.py", ["R6"]).findings == []
+
+    def test_pragma_suppresses(self):
+        assert lint("r6_exports.py", ["R6"]).suppressed == 1
+
+    def test_cross_module_import_resolution(self):
+        root = FIXTURES / "exports_project"
+        report = run_lint([root / "src"], root=root, rules=["R6"])
+        assert "import:mod_a.absent" in details(report)
+        assert "import:mod_a.provided" not in details(report)
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_line_number_independent(self):
+        a = Finding("R4", "unlocked", "x.py", 10, "C.m", "msg", "C.m.attr")
+        b = Finding("R4", "unlocked", "x.py", 99, "C.m", "msg", "C.m.attr")
+        assert a.fingerprint == b.fingerprint
+
+    def test_distinct_scopes_differ(self):
+        a = Finding("R4", "unlocked", "x.py", 10, "C.m", "msg", "C.m.attr")
+        b = Finding("R4", "unlocked", "x.py", 10, "C.n", "msg", "C.n.attr")
+        assert a.fingerprint != b.fingerprint
+
+    def test_output_format_is_stable(self):
+        f = Finding("R1", "replay", "src/a.py", 7, "op", "broken", "k")
+        assert format_finding(f) == (
+            f"src/a.py:7: R1 [{f.fingerprint}] op: broken"
+        )
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        report = lint("r4_locks.py", ["R4"])
+        assert report.findings
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            render_baseline(
+                report.findings,
+                {f.fingerprint: "accepted for the fixture" for f in report.findings},
+            )
+        )
+        again = lint("r4_locks.py", ["R4"], baseline=baseline)
+        assert again.findings == []
+        assert len(again.baselined) == len(report.findings)
+        assert again.stale_baseline == []
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text(
+            "deadbeef00 R4 gone.py Class.method -- the finding was fixed\n"
+        )
+        report = lint("r4_clean.py", ["R4"], baseline=baseline)
+        assert report.stale_baseline == ["deadbeef00"]
+
+    def test_justification_is_mandatory(self, tmp_path):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("deadbeef00 R4 x.py scope\n")
+        with pytest.raises(BaselineError, match="justification"):
+            load_baseline(baseline)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.txt") == {}
+
+
+class TestCli:
+    def test_findings_exit_code(self, capsys):
+        rc = lint_main(
+            [
+                str(FIXTURES / "r3_grad.py"),
+                "--root",
+                str(FIXTURES),
+                "--rules",
+                "R3",
+                "--no-baseline",
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "r3_grad.py" in out and "R3" in out
+
+    def test_clean_exit_code(self, capsys):
+        rc = lint_main(
+            [
+                str(FIXTURES / "r3_clean.py"),
+                "--root",
+                str(FIXTURES),
+                "--rules",
+                "R3",
+                "--no-baseline",
+            ]
+        )
+        assert rc == 0
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.txt"
+        args = [
+            str(FIXTURES / "r4_locks.py"),
+            "--root",
+            str(FIXTURES),
+            "--rules",
+            "R4",
+            "--baseline",
+            str(baseline),
+        ]
+        assert lint_main(args + ["--write-baseline"]) == 0
+        assert baseline.is_file()
+        assert lint_main(args) == 0  # everything baselined now
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert lint_main(["--rules", "R99", str(FIXTURES / "r3_clean.py")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule in out
